@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 10: bandwidth functions + resource pooling."""
+
+import pytest
+
+from repro.experiments.fig10_bwfunc_pooling import run_bwfunction_pooling_timeseries
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_bwfunctions_with_pooling(benchmark):
+    result = benchmark.pedantic(
+        run_bwfunction_pooling_timeseries,
+        kwargs={"iterations_per_phase": 120, "record_every": 10},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    phase1 = [row for row in result.rows if row["phase"].startswith("middle=5")]
+    phase2 = [row for row in result.rows if row["phase"].startswith("middle=17")]
+    # End of phase 1: Flow 1 pools ~10 Gbps, Flow 2 is confined to its 3 Gbps
+    # private link (the middle link is used exclusively by Flow 1).
+    assert phase1[-1]["flow1_gbps"] == pytest.approx(10.0, rel=0.1)
+    assert phase1[-1]["flow2_gbps"] == pytest.approx(3.0, rel=0.15)
+    # End of phase 2: the allocation follows the bandwidth functions at the
+    # new total capacity: 15 Gbps for Flow 1 and 10 Gbps for Flow 2.
+    assert phase2[-1]["flow1_gbps"] == pytest.approx(15.0, rel=0.1)
+    assert phase2[-1]["flow2_gbps"] == pytest.approx(10.0, rel=0.1)

@@ -1,0 +1,55 @@
+"""Benchmark regenerating Figure 4: convergence in the semi-dynamic scenario.
+
+Figure 4(a): CDF (here: median / p95 / mean) of per-event convergence times
+for NUMFabric, DGD and RCP*.  Figure 4(b)/(c): the rate trajectory of a
+typical flow under DCTCP vs NUMFabric.
+"""
+
+import pytest
+
+from repro.experiments.fig4_convergence import (
+    ConvergenceSettings,
+    run_convergence_cdf,
+    run_rate_timeseries,
+)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4a_convergence_cdf(benchmark):
+    settings = ConvergenceSettings(num_events=4, max_iterations=200)
+    result = benchmark.pedantic(
+        run_convergence_cdf, args=(settings,), rounds=1, iterations=1
+    )
+    print()
+    print(result)
+
+    by_scheme = {row["scheme"]: row for row in result.rows}
+    assert set(by_scheme) == {"NUMFabric", "DGD", "RCP*"}
+    # The headline result: NUMFabric converges faster than both baselines at
+    # the median and the 95th percentile (the paper reports 2.3x / 2.7x).
+    for baseline in ("DGD", "RCP*"):
+        assert by_scheme["NUMFabric"]["median_us"] < by_scheme[baseline]["median_us"]
+        assert by_scheme["NUMFabric"]["p95_us"] < by_scheme[baseline]["p95_us"]
+    # Convergence happens at sub-millisecond timescales, as in the paper.
+    assert by_scheme["NUMFabric"]["median_us"] < 1000.0
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4bc_rate_timeseries(benchmark):
+    result = benchmark.pedantic(
+        run_rate_timeseries,
+        kwargs={"num_flows": 10, "iterations": 120, "change_at": 60},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(str(result).splitlines()[0])
+
+    # After the change, NUMFabric locks onto the expected rate...
+    tail = result.rows[-20:]
+    for row in tail:
+        assert row["numfabric_rate_gbps"] == pytest.approx(row["expected_rate_gbps"], rel=0.1)
+    # ...while DCTCP keeps oscillating (its rate spread stays above 20%).
+    dctcp_tail = [row["dctcp_rate_gbps"] for row in result.rows[-40:]]
+    spread = (max(dctcp_tail) - min(dctcp_tail)) / (sum(dctcp_tail) / len(dctcp_tail))
+    assert spread > 0.2

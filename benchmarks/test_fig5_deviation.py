@@ -1,0 +1,53 @@
+"""Benchmark regenerating Figure 5: deviation from ideal rates (both workloads)."""
+
+import pytest
+
+from repro.experiments.fig5_dynamic import DeviationSettings, run_deviation_experiment
+
+
+def _median_of(result, scheme, size_bin):
+    for row in result.rows:
+        if row["scheme"] == scheme and row["size_bin_bdp"] == size_bin and row["median"] is not None:
+            return row["median"]
+    return None
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5a_websearch_deviation(benchmark):
+    settings = DeviationSettings(num_flows=80)
+    result = benchmark.pedantic(
+        run_deviation_experiment, args=("websearch", settings), rounds=1, iterations=1
+    )
+    print()
+    print(result)
+
+    # NUMFabric's median deviation is close to zero for every populated bin.
+    for row in result.rows:
+        if row["scheme"] == "NUMFabric" and row["median"] is not None:
+            assert abs(row["median"]) < 0.25
+    # The gradient-based schemes are biased low (they fail to grab bandwidth)
+    # for at least one of the small-flow bins.
+    laggards = [
+        row["median"]
+        for row in result.rows
+        if row["scheme"] in ("DGD", "RCP*") and row["median"] is not None
+    ]
+    assert any(median < -0.05 for median in laggards)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5b_enterprise_deviation(benchmark):
+    settings = DeviationSettings(num_flows=80)
+    result = benchmark.pedantic(
+        run_deviation_experiment, args=("enterprise", settings), rounds=1, iterations=1
+    )
+    print()
+    print(result)
+
+    numfabric_medians = [
+        row["median"]
+        for row in result.rows
+        if row["scheme"] == "NUMFabric" and row["median"] is not None
+    ]
+    assert numfabric_medians, "expected at least one populated size bin"
+    assert all(abs(median) < 0.3 for median in numfabric_medians)

@@ -1,0 +1,61 @@
+"""Benchmark regenerating Figure 6: parameter sensitivity of NUMFabric."""
+
+import pytest
+
+from repro.experiments.fig6_sensitivity import (
+    run_alpha_sensitivity,
+    run_delay_slack_sensitivity,
+    run_price_interval_sensitivity,
+)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6a_delay_slack(benchmark):
+    result = benchmark.pedantic(
+        run_delay_slack_sensitivity,
+        kwargs={"delay_slacks_us": [3, 6, 12, 24], "num_flows": 2, "duration": 0.01},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+    assert len(result.rows) == 4
+    # The scheme converges (a convergence time is measured) for the
+    # recommended dt values.
+    measured = [row for row in result.rows if row["convergence_time_ms"] is not None]
+    assert measured, "no dt value converged"
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6b_price_update_interval(benchmark):
+    result = benchmark.pedantic(
+        run_price_interval_sensitivity,
+        kwargs={"intervals_us": [30, 48, 64, 96, 128]},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+    times = [row["convergence_time_ms"] for row in result.rows]
+    assert all(t is not None for t in times)
+    # Convergence time grows with the price-update interval (Fig. 6(b)).
+    assert times[-1] > times[0]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6c_alpha_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        run_alpha_sensitivity,
+        kwargs={"alphas": [0.5, 1.0, 2.0, 3.0]},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+    for row in result.rows:
+        assert row["convergence_time_1x_ms"] is not None
+        assert row["convergence_time_2x_ms"] is not None
+        # The 2x-slowed loop costs roughly a factor of two in convergence
+        # time (Fig. 6(c)'s "modest cost").
+        assert row["convergence_time_2x_ms"] >= row["convergence_time_1x_ms"]
+        assert row["convergence_time_2x_ms"] <= 4 * row["convergence_time_1x_ms"]

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 8: resource pooling with multipath sub-flows."""
+
+import pytest
+
+from repro.experiments.fig8_resource_pooling import (
+    ResourcePoolingSettings,
+    run_resource_pooling,
+)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_resource_pooling(benchmark):
+    settings = ResourcePoolingSettings(iterations=100)
+    result = benchmark.pedantic(
+        run_resource_pooling,
+        kwargs={"subflow_counts": [1, 2, 4, 8], "settings": settings},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    pooling_rows = {row["subflows"]: row for row in result.rows if row["resource_pooling"]}
+    # Figure 8(a): total throughput increases with the number of sub-flows
+    # and approaches the optimum with 8 sub-flows.
+    assert pooling_rows[8]["total_throughput_pct"] >= pooling_rows[1]["total_throughput_pct"]
+    assert pooling_rows[8]["total_throughput_pct"] > 90.0
+    # Figure 8(b): with pooling and 8 sub-flows, even the worst pair is close
+    # to its optimal share (flow-level fairness).
+    assert pooling_rows[8]["min_pair_pct"] > 75.0

@@ -1,0 +1,34 @@
+"""Benchmark regenerating Figure 9: bandwidth-function allocation vs capacity."""
+
+import pytest
+
+from repro.experiments.fig9_bwfunctions import run_bandwidth_function_sweep
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_bandwidth_functions(benchmark):
+    result = benchmark.pedantic(
+        run_bandwidth_function_sweep,
+        kwargs={"capacities_gbps": [5, 10, 15, 20, 25, 30, 35]},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+
+    for row in result.rows:
+        capacity = row["capacity_gbps"]
+        # NUMFabric's allocation matches the bandwidth-function water-filling
+        # within a few percent of the link capacity at every point of the sweep.
+        assert row["numfabric_flow1_gbps"] == pytest.approx(
+            row["expected_flow1_gbps"], abs=0.05 * capacity
+        )
+        assert row["numfabric_flow2_gbps"] == pytest.approx(
+            row["expected_flow2_gbps"], abs=0.05 * capacity
+        )
+    # Spot-check the two anchor points the paper calls out (Fig. 2): at
+    # 10 Gbps flow 1 takes the whole link; at 25 Gbps the split is 15 / 10.
+    by_capacity = {row["capacity_gbps"]: row for row in result.rows}
+    assert by_capacity[10]["expected_flow2_gbps"] == pytest.approx(0.0, abs=1e-6)
+    assert by_capacity[25]["expected_flow1_gbps"] == pytest.approx(15.0, rel=1e-3)
+    assert by_capacity[25]["expected_flow2_gbps"] == pytest.approx(10.0, rel=1e-3)

@@ -1,0 +1,38 @@
+"""Benchmark regenerating Table 1: allocation objectives as utility functions."""
+
+import pytest
+
+from repro.experiments.table1_utilities import run_table1_allocations
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_utility_functions(benchmark):
+    result = benchmark.pedantic(run_table1_allocations, rounds=1, iterations=1)
+    print()
+    print(result)
+
+    by_objective = {row["objective"]: row for row in result.rows}
+    assert set(by_objective) == {
+        "alpha-fairness (alpha=1)",
+        "weighted alpha-fairness",
+        "minimize FCT (1/s weights)",
+        "resource pooling",
+        "bandwidth functions",
+    }
+    # Proportional fairness: equal split.
+    assert by_objective["alpha-fairness (alpha=1)"]["achieved_gbps"] == pytest.approx(
+        [2.5, 2.5, 2.5, 2.5], rel=0.02
+    )
+    # Weighted: proportional to 1:2:5.
+    assert by_objective["weighted alpha-fairness"]["achieved_gbps"] == pytest.approx(
+        [1.25, 2.5, 6.25], rel=0.02
+    )
+    # FCT: the short flow takes (essentially) the whole link.
+    short, long = by_objective["minimize FCT (1/s weights)"]["achieved_gbps"]
+    assert short > 9.0 and long < 1.0
+    # Resource pooling: the aggregate fills both paths (10 Gbps).
+    assert by_objective["resource pooling"]["achieved_gbps"][0] == pytest.approx(10.0, rel=0.05)
+    # Bandwidth functions: the Fig. 2 allocation at 25 Gbps is 15 / 10.
+    f1, f2 = by_objective["bandwidth functions"]["achieved_gbps"]
+    assert f1 == pytest.approx(15.0, rel=0.05)
+    assert f2 == pytest.approx(10.0, rel=0.05)

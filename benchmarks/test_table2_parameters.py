@@ -1,0 +1,27 @@
+"""Benchmark regenerating Table 2: default parameter settings per scheme."""
+
+import pytest
+
+from repro.experiments.table2_parameters import run_table2_parameters
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_default_parameters(benchmark):
+    result = benchmark.pedantic(run_table2_parameters, rounds=1, iterations=1)
+    print()
+    print(result)
+
+    values = {(row["scheme"], row["parameter"]): row["value"] for row in result.rows}
+    # NUMFabric's Table 2 entries match the paper exactly.
+    assert values[("NUMFabric", "ewma_time")] == pytest.approx(20e-6)
+    assert values[("NUMFabric", "delay_slack")] == pytest.approx(6e-6)
+    assert values[("NUMFabric", "price_update_interval")] == pytest.approx(30e-6)
+    assert values[("NUMFabric", "eta")] == 5.0
+    assert values[("NUMFabric", "beta")] == 0.5
+    # DGD / RCP* update intervals match the paper (16 us, one RTT).
+    assert values[("DGD", "price_update_interval")] == pytest.approx(16e-6)
+    assert values[("RCP*", "rate_update_interval")] == pytest.approx(16e-6)
+    # The topology constants of Sec. 6.
+    assert values[("simulation", "num_servers")] == 128
+    assert values[("simulation", "edge_link_rate")] == pytest.approx(10e9)
+    assert values[("simulation", "core_link_rate")] == pytest.approx(40e9)

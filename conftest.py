@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``repro`` importable straight from the source tree.
+
+This lets ``pytest tests/`` and ``pytest benchmarks/`` run even when the
+package has not been installed (useful in offline environments where
+``pip install -e .`` cannot fetch build dependencies).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,81 @@
+"""Minimizing flow completion times with the packet-level simulator.
+
+Runs a small web-search-like workload twice on the same dumbbell topology:
+once with NUMFabric using the FCT-minimizing utility (1/size weights) and
+once with pFabric, then prints per-scheme FCT statistics -- a miniature
+version of the paper's Figure 7 experiment.
+
+Run with:  python examples/fct_minimization.py
+"""
+
+from repro.analysis.fct import FctRecord, summarize_fcts
+from repro.core.config import NumFabricParameters, PfabricParameters, SimulationParameters
+from repro.core.utility import FctUtility
+from repro.sim.flow import FlowDescriptor
+from repro.sim.topology import dumbbell
+from repro.transports import NumFabricScheme, PfabricScheme
+from repro.workloads.distributions import web_search_distribution
+from repro.workloads.poisson import PoissonTrafficGenerator
+
+LINK_RATE = 1e9
+BASELINE_RTT = 50e-6
+NUM_PAIRS = 4
+NUM_FLOWS = 40
+MAX_FLOW_BYTES = 200_000
+
+
+def run_scheme(name: str, arrivals) -> None:
+    if name == "NUMFabric":
+        scheme = NumFabricScheme(params=NumFabricParameters(baseline_rtt=BASELINE_RTT).slowed_down(2.0))
+    else:
+        scheme = PfabricScheme(params=PfabricParameters(retransmission_timeout=3 * BASELINE_RTT))
+    params = SimulationParameters(
+        num_servers=2 * NUM_PAIRS, edge_link_rate=LINK_RATE, core_link_rate=LINK_RATE,
+        baseline_rtt=BASELINE_RTT,
+    )
+    network = dumbbell(scheme, num_pairs=NUM_PAIRS, bottleneck_rate=LINK_RATE,
+                       access_rate=LINK_RATE, params=params)
+    last = 0.0
+    for arrival in arrivals:
+        size = min(arrival.size_bytes, MAX_FLOW_BYTES)
+        pair = arrival.source % NUM_PAIRS
+        network.add_flow(
+            FlowDescriptor(
+                flow_id=arrival.flow_id,
+                source=("sender", pair),
+                destination=("receiver", pair),
+                size_bytes=size,
+                start_time=arrival.time,
+                utility=FctUtility(flow_size=size),
+            )
+        )
+        last = arrival.time
+    network.run(last + 0.5)
+    records = [
+        FctRecord(c.flow_id, c.size_bytes, c.start_time, c.finish_time)
+        for c in network.fct_tracker.completions
+    ]
+    summary = summarize_fcts(records, LINK_RATE, BASELINE_RTT)
+    print(
+        f"{name:<12} flows={summary.count:<4} mean nFCT={summary.mean_normalized_fct:6.2f} "
+        f"median nFCT={summary.median_normalized_fct:6.2f} p95 nFCT={summary.p95_normalized_fct:6.2f}"
+    )
+
+
+def main() -> None:
+    generator = PoissonTrafficGenerator(
+        num_servers=NUM_PAIRS,
+        size_distribution=web_search_distribution(),
+        load=0.4,
+        link_rate=LINK_RATE,
+        seed=42,
+    )
+    arrivals = generator.generate(max_flows=NUM_FLOWS)
+    print(f"web-search workload: {len(arrivals)} flows at 40% load on a {LINK_RATE / 1e9:.0f} Gbps dumbbell\n")
+    for scheme in ("NUMFabric", "pFabric"):
+        run_scheme(scheme, arrivals)
+    print("\nNormalized FCT = completion time / (size at line rate + one RTT); lower is better.")
+
+
+if __name__ == "__main__":
+    main()

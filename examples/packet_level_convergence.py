@@ -1,0 +1,54 @@
+"""Packet-level NUMFabric in action: watch weighted flows converge.
+
+Three flows with weights 1, 2 and 4 share a 1 Gbps bottleneck in the
+packet-level simulator (STFQ switches, Swift rate control, xWI price
+computation).  The script prints each flow's measured goodput over time and
+shows that the allocation settles on the 1:2:4 split that the weighted
+proportional-fairness utilities dictate.
+
+Run with:  python examples/packet_level_convergence.py
+"""
+
+from repro.core.config import NumFabricParameters
+from repro.core.utility import LogUtility
+from repro.sim.flow import FlowDescriptor
+from repro.sim.topology import single_link_network
+from repro.transports import NumFabricScheme
+
+LINK_RATE = 1e9
+WEIGHTS = {0: 1.0, 1: 2.0, 2: 4.0}
+DURATION = 0.03
+
+
+def main() -> None:
+    # The scaled-down 1 Gbps topology has a larger RTT than the paper's
+    # 10 Gbps fabric (serialization dominates), so the Swift window sizing
+    # needs the matching baseline RTT and a proportionally larger slack.
+    scheme = NumFabricScheme(
+        params=NumFabricParameters(baseline_rtt=60e-6, delay_slack=20e-6)
+    )
+    network = single_link_network(scheme, num_flows=len(WEIGHTS), link_rate=LINK_RATE)
+    for flow_id, weight in WEIGHTS.items():
+        network.add_flow(
+            FlowDescriptor(
+                flow_id=flow_id,
+                source=("sender", flow_id),
+                destination=("receiver", flow_id),
+                utility=LogUtility(weight=weight),
+            )
+        )
+    network.run(DURATION)
+
+    total_weight = sum(WEIGHTS.values())
+    print(f"{'flow':>4} {'weight':>7} {'goodput (Mbps)':>15} {'expected (Mbps)':>16}")
+    for flow_id, weight in WEIGHTS.items():
+        monitor = network.rate_monitors[flow_id]
+        achieved = monitor.average_rate(2 * DURATION / 3, DURATION) / 1e6
+        expected = LINK_RATE * weight / total_weight / 1e6
+        print(f"{flow_id:>4} {weight:>7.1f} {achieved:>15.1f} {expected:>16.1f}")
+    print(f"\nsimulated {network.simulator.events_processed} events "
+          f"covering {DURATION * 1e3:.0f} ms of fabric time")
+
+
+if __name__ == "__main__":
+    main()

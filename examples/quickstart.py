@@ -1,0 +1,52 @@
+"""Quickstart: allocate bandwidth with NUMFabric on a small fabric.
+
+Builds a 3-link network shared by four flows with different utility
+functions, runs the fluid NUMFabric (xWI over weighted max-min) until it
+converges, and compares the result with the centralized Oracle.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import FluidFlow, FluidNetwork, LogUtility, solve_num
+from repro.core.utility import WeightedAlphaFairUtility
+from repro.fluid.xwi import XwiFluidSimulator
+
+
+def main() -> None:
+    # A small network: two 10 Gbps edge links feeding a 15 Gbps core link.
+    network = FluidNetwork({"edge-a": 10e9, "edge-b": 10e9, "core": 15e9})
+
+    # Four flows with different paths and policies: two plain
+    # proportional-fairness flows, one high-priority flow (weight 4) and one
+    # background flow (weight 0.5).
+    network.add_flow(FluidFlow("tenant-1", ("edge-a", "core"), LogUtility()))
+    network.add_flow(FluidFlow("tenant-2", ("edge-b", "core"), LogUtility()))
+    network.add_flow(FluidFlow("priority", ("edge-a", "core"), LogUtility(weight=4.0)))
+    network.add_flow(
+        FluidFlow("background", ("edge-b",), WeightedAlphaFairUtility(weight=0.5, alpha=1.0))
+    )
+
+    # NUMFabric: every iteration is one price-update interval (~2 RTTs).
+    simulator = XwiFluidSimulator(network)
+    records = simulator.run(60)
+    numfabric_rates = records[-1].rates
+
+    # Ground truth: the centralized NUM optimum.
+    oracle = solve_num(network)
+
+    print(f"{'flow':<12} {'NUMFabric (Gbps)':>18} {'Oracle (Gbps)':>15}")
+    for flow_id in sorted(numfabric_rates, key=str):
+        print(
+            f"{flow_id:<12} {numfabric_rates[flow_id] / 1e9:>18.3f} "
+            f"{oracle.rates[flow_id] / 1e9:>15.3f}"
+        )
+    worst_error = max(
+        abs(numfabric_rates[f] - oracle.rates[f]) / oracle.rates[f] for f in oracle.rates
+    )
+    print(f"\nconverged in {len(records)} iterations "
+          f"({len(records) * simulator.seconds_per_iteration * 1e6:.0f} us of fabric time); "
+          f"worst-case deviation from the optimum: {100 * worst_error:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

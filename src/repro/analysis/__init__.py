@@ -1,0 +1,23 @@
+"""Analysis utilities: statistics, convergence, rate deviation and FCT."""
+
+from repro.analysis.stats import BoxStats, cdf_points, percentile, summarize
+from repro.analysis.convergence import ewma_filter, measure_convergence_time
+from repro.analysis.deviation import bin_by_bdp, normalized_deviation, DeviationBin
+from repro.analysis.fct import FctRecord, FctSummary, ideal_fct, normalized_fct, summarize_fcts
+
+__all__ = [
+    "BoxStats",
+    "cdf_points",
+    "percentile",
+    "summarize",
+    "ewma_filter",
+    "measure_convergence_time",
+    "bin_by_bdp",
+    "normalized_deviation",
+    "DeviationBin",
+    "FctRecord",
+    "FctSummary",
+    "ideal_fct",
+    "normalized_fct",
+    "summarize_fcts",
+]

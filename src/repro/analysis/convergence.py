@@ -1,0 +1,134 @@
+"""Convergence analysis of measured rate traces (packet-level experiments).
+
+The paper measures rates at the destination with an 80 microsecond EWMA
+filter to suppress packet-scheduling noise, subtracts the filter's rise time
+from the measured convergence time, and applies the 95%-of-flows-within-10%
+criterion.  These helpers implement that pipeline for packet-level traces;
+the fluid engine uses :mod:`repro.fluid.convergence` directly on iteration
+histories.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+def ewma_filter(
+    times: Sequence[float], values: Sequence[float], time_constant: float
+) -> List[float]:
+    """Exponentially weighted moving average with a time-based gain.
+
+    The gain of each sample is ``1 - exp(-dt / time_constant)`` where ``dt``
+    is the time since the previous sample, which makes the filter behave
+    like a continuous-time first-order low-pass regardless of the sampling
+    pattern.
+    """
+    if len(times) != len(values):
+        raise ValueError("times and values must have the same length")
+    if time_constant <= 0:
+        raise ValueError("time_constant must be positive")
+    filtered: List[float] = []
+    state: Optional[float] = None
+    previous_time: Optional[float] = None
+    for time, value in zip(times, values):
+        if state is None:
+            state = value
+        else:
+            dt = max(time - previous_time, 0.0)
+            gain = 1.0 - math.exp(-dt / time_constant)
+            state += gain * (value - state)
+        filtered.append(state)
+        previous_time = time
+    return filtered
+
+
+def filter_rise_time(time_constant: float, target_fraction: float = 0.9) -> float:
+    """Time for the EWMA filter's output to reach ``target_fraction`` of a step.
+
+    The paper subtracts this (about 185 us for an 80 us filter and 90%)
+    from measured convergence times since it is a measurement artifact.
+    """
+    if not 0.0 < target_fraction < 1.0:
+        raise ValueError("target_fraction must be in (0, 1)")
+    return -time_constant * math.log(1.0 - target_fraction)
+
+
+def measure_convergence_time(
+    rate_traces: Mapping[object, Sequence[Tuple[float, float]]],
+    optimal_rates: Mapping[object, float],
+    start_time: float,
+    flow_fraction: float = 0.95,
+    rate_tolerance: float = 0.10,
+    hold_time: float = 0.0,
+    ewma_time_constant: Optional[float] = None,
+    subtract_rise_time: bool = True,
+) -> Optional[float]:
+    """Convergence time of a network event from per-flow rate traces.
+
+    Parameters
+    ----------
+    rate_traces:
+        Per flow, a sequence of ``(time, rate)`` samples (e.g. from a
+        receiver-side rate monitor).
+    optimal_rates:
+        The Oracle allocation after the event.
+    start_time:
+        Time of the network event; the returned value is relative to it.
+    hold_time:
+        The criterion must hold for this long (the paper uses 5 ms).
+    ewma_time_constant:
+        If given, traces are EWMA-filtered first and (optionally) the filter
+        rise time is subtracted from the result.
+    """
+    if not optimal_rates:
+        return 0.0
+
+    # Build a merged, sorted list of evaluation instants from all traces.
+    instants = sorted({t for trace in rate_traces.values() for t, _ in trace if t >= start_time})
+    if not instants:
+        return None
+
+    filtered_traces: Dict[object, List[Tuple[float, float]]] = {}
+    for flow_id, trace in rate_traces.items():
+        times = [t for t, _ in trace]
+        values = [v for _, v in trace]
+        if ewma_time_constant is not None:
+            values = ewma_filter(times, values, ewma_time_constant)
+        filtered_traces[flow_id] = list(zip(times, values))
+
+    def rate_at(flow_id: object, time: float) -> float:
+        trace = filtered_traces.get(flow_id, [])
+        latest = 0.0
+        for sample_time, value in trace:
+            if sample_time > time:
+                break
+            latest = value
+        return latest
+
+    converged_since: Optional[float] = None
+    convergence_time: Optional[float] = None
+    for now in instants:
+        within = 0
+        for flow_id, optimal in optimal_rates.items():
+            rate = rate_at(flow_id, now)
+            if optimal <= 0.0:
+                ok = rate <= rate_tolerance
+            else:
+                ok = abs(rate - optimal) <= rate_tolerance * optimal
+            if ok:
+                within += 1
+        if within / len(optimal_rates) >= flow_fraction:
+            if converged_since is None:
+                converged_since = now
+            if now - converged_since >= hold_time:
+                convergence_time = converged_since - start_time
+                break
+        else:
+            converged_since = None
+
+    if convergence_time is None:
+        return None
+    if ewma_time_constant is not None and subtract_rise_time:
+        convergence_time = max(convergence_time - filter_rise_time(ewma_time_constant), 0.0)
+    return convergence_time

@@ -1,0 +1,88 @@
+"""Normalized deviation from ideal rates (Fig. 5).
+
+For dynamic workloads most flows finish before any scheme converges, so the
+paper compares the *average rate* each flow achieved (size / completion
+time) against the rate it would have achieved under an Oracle that assigns
+optimal NUM rates instantaneously:
+
+``deviation = (rate_with_scheme - ideal_rate) / ideal_rate``
+
+Flows are binned by their size in bandwidth-delay products (BDPs), and each
+bin is summarized with box-plot statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.stats import BoxStats
+
+# The paper's Fig. 5 bins, in BDPs.
+DEFAULT_BDP_BINS: Tuple[Tuple[float, float], ...] = (
+    (0.0, 5.0),
+    (5.0, 10.0),
+    (10.0, 100.0),
+    (100.0, 1_000.0),
+    (1_000.0, 10_000.0),
+)
+
+
+def normalized_deviation(achieved_rate: float, ideal_rate: float) -> float:
+    """``(achieved - ideal) / ideal``; +1 means twice the ideal rate."""
+    if ideal_rate <= 0:
+        raise ValueError("ideal_rate must be positive")
+    return (achieved_rate - ideal_rate) / ideal_rate
+
+
+@dataclass(frozen=True)
+class DeviationBin:
+    """Box statistics of the normalized deviation for one flow-size bin."""
+
+    low_bdp: float
+    high_bdp: float
+    stats: Optional[BoxStats]
+
+    @property
+    def label(self) -> str:
+        def fmt(value: float) -> str:
+            return f"{value:g}" if value < 1000 else f"{value / 1000:g}K"
+
+        return f"({fmt(self.low_bdp)}-{fmt(self.high_bdp)})"
+
+
+def bin_by_bdp(
+    flow_sizes: Mapping[object, float],
+    deviations: Mapping[object, float],
+    bdp_bytes: float,
+    bins: Sequence[Tuple[float, float]] = DEFAULT_BDP_BINS,
+) -> List[DeviationBin]:
+    """Group per-flow deviations into the paper's flow-size bins.
+
+    Parameters
+    ----------
+    flow_sizes:
+        Flow sizes in bytes, keyed by flow id.
+    deviations:
+        Normalized deviations keyed by the same flow ids.
+    bdp_bytes:
+        One bandwidth-delay product in bytes (about 200 KB in the paper's
+        network); bins are expressed in multiples of it.
+    """
+    if bdp_bytes <= 0:
+        raise ValueError("bdp_bytes must be positive")
+    grouped: Dict[Tuple[float, float], List[float]] = {tuple(b): [] for b in bins}
+    for flow_id, deviation in deviations.items():
+        if flow_id not in flow_sizes:
+            continue
+        size_in_bdp = flow_sizes[flow_id] / bdp_bytes
+        for low, high in bins:
+            if low <= size_in_bdp < high:
+                grouped[(low, high)].append(deviation)
+                break
+    result = []
+    for low, high in bins:
+        values = grouped[(low, high)]
+        stats = BoxStats.from_values(values) if values else None
+        result.append(DeviationBin(low_bdp=low, high_bdp=high, stats=stats))
+    return result

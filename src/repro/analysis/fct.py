@@ -1,0 +1,87 @@
+"""Flow-completion-time statistics (Fig. 7).
+
+The paper reports FCTs normalized to the lowest possible FCT for each flow
+given its size: the time to push the flow's bytes at the access-link rate
+plus one baseline RTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.stats import percentile
+
+
+def ideal_fct(size_bytes: float, link_rate: float, baseline_rtt: float) -> float:
+    """The lowest possible completion time of a flow of ``size_bytes``."""
+    if size_bytes <= 0:
+        raise ValueError("size_bytes must be positive")
+    if link_rate <= 0:
+        raise ValueError("link_rate must be positive")
+    return 8.0 * size_bytes / link_rate + baseline_rtt
+
+
+def normalized_fct(actual_fct: float, size_bytes: float, link_rate: float,
+                   baseline_rtt: float) -> float:
+    """``actual / ideal`` completion time (>= 1 for any real scheme)."""
+    return actual_fct / ideal_fct(size_bytes, link_rate, baseline_rtt)
+
+
+@dataclass(frozen=True)
+class FctRecord:
+    """Completion record of one finished flow."""
+
+    flow_id: object
+    size_bytes: float
+    start_time: float
+    finish_time: float
+
+    @property
+    def fct(self) -> float:
+        return self.finish_time - self.start_time
+
+    def normalized(self, link_rate: float, baseline_rtt: float) -> float:
+        return normalized_fct(self.fct, self.size_bytes, link_rate, baseline_rtt)
+
+
+@dataclass(frozen=True)
+class FctSummary:
+    """Aggregate FCT statistics (average and tail of the normalized FCT)."""
+
+    count: int
+    mean_normalized_fct: float
+    median_normalized_fct: float
+    p95_normalized_fct: float
+    p99_normalized_fct: float
+    mean_fct: float
+
+    @classmethod
+    def empty(cls) -> "FctSummary":
+        return cls(0, float("nan"), float("nan"), float("nan"), float("nan"), float("nan"))
+
+
+def summarize_fcts(
+    records: Sequence[FctRecord],
+    link_rate: float,
+    baseline_rtt: float,
+    size_range: Optional[tuple] = None,
+) -> FctSummary:
+    """Summarize normalized FCTs, optionally restricted to a size range (bytes)."""
+    selected = [
+        record
+        for record in records
+        if size_range is None or size_range[0] <= record.size_bytes < size_range[1]
+    ]
+    if not selected:
+        return FctSummary.empty()
+    normalized = [record.normalized(link_rate, baseline_rtt) for record in selected]
+    fcts = [record.fct for record in selected]
+    return FctSummary(
+        count=len(selected),
+        mean_normalized_fct=sum(normalized) / len(normalized),
+        median_normalized_fct=percentile(normalized, 50.0),
+        p95_normalized_fct=percentile(normalized, 95.0),
+        p99_normalized_fct=percentile(normalized, 99.0),
+        mean_fct=sum(fcts) / len(fcts),
+    )

@@ -1,0 +1,84 @@
+"""Small statistics helpers shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of a sample."""
+    if not values:
+        raise ValueError("cannot take the percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as a list of ``(value, cumulative_probability)`` points."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Quartile summary used for the paper's box-and-whisker plots (Fig. 5)."""
+
+    median: float
+    q1: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float], whisker_factor: float = 1.5) -> "BoxStats":
+        """Build box statistics with Tukey-style whiskers (1.5 x IQR, clamped to data)."""
+        if not values:
+            raise ValueError("cannot summarize an empty sample")
+        q1 = percentile(values, 25.0)
+        median = percentile(values, 50.0)
+        q3 = percentile(values, 75.0)
+        iqr = q3 - q1
+        low_limit = q1 - whisker_factor * iqr
+        high_limit = q3 + whisker_factor * iqr
+        in_range = [v for v in values if low_limit <= v <= high_limit]
+        if not in_range:
+            in_range = list(values)
+        return cls(
+            median=median,
+            q1=q1,
+            q3=q3,
+            whisker_low=min(in_range),
+            whisker_high=max(in_range),
+            count=len(values),
+        )
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / p95 / p99 / min / max summary of a sample."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    return {
+        "count": float(len(values)),
+        "mean": sum(values) / len(values),
+        "median": percentile(values, 50.0),
+        "p95": percentile(values, 95.0),
+        "p99": percentile(values, 99.0),
+        "min": min(values),
+        "max": max(values),
+    }

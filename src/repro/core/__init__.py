@@ -1,0 +1,47 @@
+"""Core NUMFabric algorithms: utilities, bandwidth functions, Swift and xWI."""
+
+from repro.core.utility import (
+    AlphaFairUtility,
+    BandwidthFunctionUtility,
+    FctUtility,
+    LinearUtility,
+    LogUtility,
+    Utility,
+    WeightedAlphaFairUtility,
+)
+from repro.core.bandwidth_function import (
+    BandwidthFunction,
+    PiecewiseLinearBandwidthFunction,
+    single_link_allocation,
+    max_min_fair_shares,
+)
+from repro.core.config import (
+    DgdParameters,
+    NumFabricParameters,
+    RcpStarParameters,
+    SimulationParameters,
+)
+from repro.core.swift import SwiftRateControl
+from repro.core.xwi import XwiLinkState, compute_flow_weight, normalized_residual
+
+__all__ = [
+    "Utility",
+    "AlphaFairUtility",
+    "WeightedAlphaFairUtility",
+    "LogUtility",
+    "LinearUtility",
+    "FctUtility",
+    "BandwidthFunctionUtility",
+    "BandwidthFunction",
+    "PiecewiseLinearBandwidthFunction",
+    "single_link_allocation",
+    "max_min_fair_shares",
+    "NumFabricParameters",
+    "DgdParameters",
+    "RcpStarParameters",
+    "SimulationParameters",
+    "SwiftRateControl",
+    "XwiLinkState",
+    "compute_flow_weight",
+    "normalized_residual",
+]

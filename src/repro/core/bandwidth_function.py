@@ -1,0 +1,318 @@
+"""Bandwidth functions (BwE-style) and their water-filling allocations (Sec. 2).
+
+A bandwidth function ``B(f)`` maps a dimensionless *fair share* ``f`` to the
+bandwidth a flow should receive.  Operators express relative priorities by
+shaping ``B``: steep segments mean a flow grabs capacity quickly as the fair
+share grows, flat segments mean it has reached a plateau.
+
+Given bandwidth functions for a set of flows sharing a link of capacity
+``C``, the allocation is found by water-filling: increase ``f`` from zero
+until ``sum_i B_i(f) == C`` and give flow ``i`` exactly ``B_i(f)``.  The
+multi-link generalization computes a max-min set of fair shares.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+class BandwidthFunction:
+    """Interface for non-decreasing bandwidth functions ``B(f)``."""
+
+    def __call__(self, fair_share: float) -> float:
+        raise NotImplementedError
+
+    def inverse(self, bandwidth: float) -> float:
+        """Return the smallest fair share ``f`` with ``B(f) >= bandwidth``."""
+        raise NotImplementedError
+
+    @property
+    def max_fair_share(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def max_bandwidth(self) -> float:
+        raise NotImplementedError
+
+    def integral_inverse_power(self, rate: float, alpha: float) -> float:
+        """Return ``integral_0^rate B^{-1}(t)^(-alpha) dt`` (Eq. (2))."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """One linear piece of a piecewise-linear bandwidth function."""
+
+    fair_share_start: float
+    fair_share_end: float
+    bandwidth_start: float
+    bandwidth_end: float
+
+    @property
+    def slope(self) -> float:
+        df = self.fair_share_end - self.fair_share_start
+        if df <= 0:
+            return 0.0
+        return (self.bandwidth_end - self.bandwidth_start) / df
+
+
+class PiecewiseLinearBandwidthFunction(BandwidthFunction):
+    """A piecewise-linear, non-decreasing bandwidth function.
+
+    Defined by a sequence of ``(fair_share, bandwidth)`` breakpoints.  Beyond
+    the last breakpoint the function is constant (the flow has reached its
+    plateau), matching the BwE convention.
+
+    Example (Figure 2 of the paper)::
+
+        flow1 = PiecewiseLinearBandwidthFunction([(0, 0), (2, 10e9), (2.5, 15e9)])
+        flow2 = PiecewiseLinearBandwidthFunction([(0, 0), (2, 0), (2.5, 10e9)])
+    """
+
+    def __init__(self, breakpoints: Sequence[Tuple[float, float]]):
+        if len(breakpoints) < 2:
+            raise ValueError("need at least two breakpoints")
+        fair_shares = [float(f) for f, _ in breakpoints]
+        bandwidths = [float(b) for _, b in breakpoints]
+        if any(f2 <= f1 for f1, f2 in zip(fair_shares, fair_shares[1:])):
+            raise ValueError("fair-share breakpoints must be strictly increasing")
+        if any(b2 < b1 for b1, b2 in zip(bandwidths, bandwidths[1:])):
+            raise ValueError("bandwidth breakpoints must be non-decreasing")
+        if fair_shares[0] != 0.0:
+            raise ValueError("the first breakpoint must be at fair share 0")
+        if bandwidths[0] < 0.0:
+            raise ValueError("bandwidths must be non-negative")
+        self._fair_shares = fair_shares
+        self._bandwidths = bandwidths
+        self._segments = [
+            _Segment(f1, f2, b1, b2)
+            for (f1, b1), (f2, b2) in zip(
+                zip(fair_shares, bandwidths), zip(fair_shares[1:], bandwidths[1:])
+            )
+        ]
+
+    @property
+    def breakpoints(self) -> List[Tuple[float, float]]:
+        return list(zip(self._fair_shares, self._bandwidths))
+
+    @property
+    def max_fair_share(self) -> float:
+        return self._fair_shares[-1]
+
+    @property
+    def max_bandwidth(self) -> float:
+        return self._bandwidths[-1]
+
+    def __call__(self, fair_share: float) -> float:
+        if fair_share <= 0.0:
+            return self._bandwidths[0]
+        if fair_share >= self.max_fair_share:
+            return self.max_bandwidth
+        index = bisect.bisect_right(self._fair_shares, fair_share) - 1
+        segment = self._segments[index]
+        return segment.bandwidth_start + segment.slope * (fair_share - segment.fair_share_start)
+
+    def inverse(self, bandwidth: float) -> float:
+        """Smallest fair share at which the flow is allocated ``bandwidth``.
+
+        Flat segments (zero slope) are skipped, so the inverse is the
+        left-most fair share achieving the requested bandwidth.  Bandwidths
+        above the plateau map to the final fair share.
+        """
+        if bandwidth <= self._bandwidths[0]:
+            return 0.0
+        if bandwidth >= self.max_bandwidth:
+            return self.max_fair_share
+        for segment in self._segments:
+            if segment.bandwidth_start <= bandwidth <= segment.bandwidth_end and segment.slope > 0:
+                return segment.fair_share_start + (
+                    bandwidth - segment.bandwidth_start
+                ) / segment.slope
+        # bandwidth falls on a flat segment boundary; return the start of the
+        # next rising segment.
+        for segment in self._segments:
+            if segment.bandwidth_end >= bandwidth:
+                return segment.fair_share_end
+        return self.max_fair_share  # pragma: no cover - defensive
+
+    def integral_inverse_power(self, rate: float, alpha: float) -> float:
+        """Compute ``integral_0^rate F(t)^(-alpha) dt`` with ``F = B^{-1}``.
+
+        Used by :class:`repro.core.utility.BandwidthFunctionUtility` as the
+        utility value.  The integral is evaluated segment by segment in
+        closed form; within a rising segment ``F`` is affine in ``t``.
+        """
+        # The integrand F(t)^(-alpha) diverges as the fair share approaches
+        # zero, so we start the integral at a small fair-share floor relative
+        # to the function's own scale and extend linearly below it (constant
+        # marginal utility).  Utilities are defined up to an additive
+        # constant, so this does not change the NUM optimum, but it keeps the
+        # values strictly increasing and well inside double precision.
+        f_floor = self.max_fair_share * 1e-3
+        floor_bandwidth = self(f_floor)
+        if rate <= floor_bandwidth:
+            return rate * f_floor ** (-alpha)
+        rate = min(rate, self.max_bandwidth)
+        total = floor_bandwidth * f_floor ** (-alpha)
+        for segment in self._segments:
+            if rate <= segment.bandwidth_start:
+                break
+            upper = min(rate, segment.bandwidth_end)
+            if segment.slope <= 0:
+                continue
+            # On this segment F(t) = f0 + (t - b0) / slope.
+            f_low = max(segment.fair_share_start, f_floor)
+            f_high = max(
+                segment.fair_share_start + (upper - segment.bandwidth_start) / segment.slope,
+                f_floor,
+            )
+            if abs(alpha - 1.0) < 1e-12:
+                import math
+
+                total += segment.slope * (math.log(f_high) - math.log(f_low))
+            else:
+                total += (
+                    segment.slope
+                    * (f_high ** (1.0 - alpha) - f_low ** (1.0 - alpha))
+                    / (1.0 - alpha)
+                )
+        return total
+
+    def __repr__(self) -> str:
+        return f"PiecewiseLinearBandwidthFunction({self.breakpoints})"
+
+
+def fig2_flow1(scale: float = 1e9) -> PiecewiseLinearBandwidthFunction:
+    """Bandwidth function of Flow 1 (blue) in Figure 2 of the paper.
+
+    Flow 1 has strict priority for the first 10 Gbps (fair share up to 2),
+    then grows at half Flow 2's slope up to 15 Gbps at fair share 2.5 and
+    continues to 25 Gbps.
+    """
+    return PiecewiseLinearBandwidthFunction(
+        [(0.0, 0.0), (2.0, 10 * scale), (2.5, 15 * scale), (4.5, 25 * scale)]
+    )
+
+
+def fig2_flow2(scale: float = 1e9) -> PiecewiseLinearBandwidthFunction:
+    """Bandwidth function of Flow 2 (red) in Figure 2 of the paper."""
+    return PiecewiseLinearBandwidthFunction(
+        [(0.0, 0.0), (2.0, 0.0), (2.5, 10 * scale), (4.5, 10 * scale)]
+    )
+
+
+def single_link_allocation(
+    bandwidth_functions: Sequence[BandwidthFunction], capacity: float, tolerance: float = 1e-9
+) -> Tuple[float, List[float]]:
+    """Water-fill a single link shared by flows with bandwidth functions.
+
+    Returns ``(fair_share, allocations)`` where ``fair_share`` is the largest
+    ``f`` such that ``sum_i B_i(f) <= capacity`` (capped at the largest
+    breakpoint), and ``allocations[i] = B_i(f)``.
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    if not bandwidth_functions:
+        return 0.0, []
+    f_max = max(bf.max_fair_share for bf in bandwidth_functions)
+    total_at_max = sum(bf(f_max) for bf in bandwidth_functions)
+    if total_at_max <= capacity + tolerance:
+        return f_max, [bf(f_max) for bf in bandwidth_functions]
+
+    low, high = 0.0, f_max
+    for _ in range(200):
+        mid = (low + high) / 2.0
+        if sum(bf(mid) for bf in bandwidth_functions) <= capacity:
+            low = mid
+        else:
+            high = mid
+        if high - low < tolerance * max(1.0, f_max):
+            break
+    fair_share = low
+    return fair_share, [bf(fair_share) for bf in bandwidth_functions]
+
+
+def max_min_fair_shares(
+    bandwidth_functions: Sequence[BandwidthFunction],
+    paths: Sequence[Sequence[int]],
+    capacities: Dict[int, float],
+    tolerance: float = 1e-9,
+) -> Tuple[List[float], List[float]]:
+    """Multi-link max-min fair-share allocation for bandwidth functions.
+
+    This is the BwE generalization of the single-link water-filling: we
+    repeatedly find the link that saturates at the smallest common fair
+    share, freeze the flows crossing it at that fair share, and continue
+    with the remaining flows and residual capacities.
+
+    Parameters
+    ----------
+    bandwidth_functions:
+        One bandwidth function per flow.
+    paths:
+        ``paths[i]`` is the sequence of link identifiers traversed by flow i.
+    capacities:
+        Capacity of each link identifier.
+
+    Returns
+    -------
+    (fair_shares, allocations):
+        Per-flow fair shares and the corresponding bandwidth allocations.
+    """
+    n_flows = len(bandwidth_functions)
+    if len(paths) != n_flows:
+        raise ValueError("paths and bandwidth_functions must have the same length")
+    remaining = dict(capacities)
+    frozen = [False] * n_flows
+    fair_shares = [0.0] * n_flows
+    allocations = [0.0] * n_flows
+    active_links = {
+        link for path in paths for link in path if any(link in p for p in paths)
+    }
+
+    def link_saturation_share(link: int) -> float:
+        """Fair share at which ``link`` saturates, considering unfrozen flows."""
+        flows_on_link = [i for i in range(n_flows) if link in paths[i] and not frozen[i]]
+        if not flows_on_link:
+            return float("inf")
+        cap = remaining[link]
+        f_hi = max(bandwidth_functions[i].max_fair_share for i in flows_on_link)
+        if sum(bandwidth_functions[i](f_hi) for i in flows_on_link) <= cap + tolerance:
+            return float("inf")
+        low, high = 0.0, f_hi
+        for _ in range(200):
+            mid = (low + high) / 2.0
+            if sum(bandwidth_functions[i](mid) for i in flows_on_link) <= cap:
+                low = mid
+            else:
+                high = mid
+            if high - low < tolerance * max(1.0, f_hi):
+                break
+        return low
+
+    while not all(frozen):
+        shares = {link: link_saturation_share(link) for link in active_links}
+        finite = {link: s for link, s in shares.items() if s != float("inf")}
+        if not finite:
+            # No link constrains the remaining flows: give them their plateau.
+            for i in range(n_flows):
+                if not frozen[i]:
+                    frozen[i] = True
+                    fair_shares[i] = bandwidth_functions[i].max_fair_share
+                    allocations[i] = bandwidth_functions[i].max_bandwidth
+            break
+        bottleneck = min(finite, key=finite.get)
+        share = finite[bottleneck]
+        newly_frozen = [
+            i for i in range(n_flows) if bottleneck in paths[i] and not frozen[i]
+        ]
+        for i in newly_frozen:
+            frozen[i] = True
+            fair_shares[i] = share
+            allocations[i] = bandwidth_functions[i](share)
+            for link in paths[i]:
+                remaining[link] = max(remaining[link] - allocations[i], 0.0)
+        active_links.discard(bottleneck)
+    return fair_shares, allocations

@@ -1,0 +1,148 @@
+"""Default parameter settings for all schemes (Table 2 of the paper).
+
+Times are in seconds, rates in bits per second and sizes in bytes unless a
+field name says otherwise.  The numbers below are the paper's defaults for a
+10/40 Gbps leaf-spine fabric with a 16 microsecond RTT; callers scale them
+when running scaled-down packet-level simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+MICROSECOND = 1e-6
+DEFAULT_MTU_BYTES = 1500
+DEFAULT_RTT_SECONDS = 16 * MICROSECOND
+
+
+@dataclass(frozen=True)
+class NumFabricParameters:
+    """NUMFabric / Swift / xWI parameters (Table 2, third row).
+
+    Attributes
+    ----------
+    ewma_time:
+        Time constant of the EWMA filter applied to inter-packet times at
+        the Swift sender (20 us in the paper).
+    delay_slack:
+        ``dt``, the slack added to the baseline RTT when sizing the window
+        so that each flow keeps a handful of packets queued at its
+        bottleneck (6 us, i.e. roughly 5 MTU-sized packets at 10 Gbps).
+    price_update_interval:
+        Period of the switch price computation (30 us, roughly 2 RTTs).
+    eta:
+        Multiplier of the under-utilization term in the price update
+        (Eq. (10)); xWI is largely insensitive to it.
+    beta:
+        Averaging parameter of the price update (Eq. (11)).
+    initial_burst_packets:
+        Number of packets the Swift sender transmits before the first rate
+        estimate is available.
+    baseline_rtt:
+        Fabric RTT without queueing, ``d0``.
+    """
+
+    ewma_time: float = 20 * MICROSECOND
+    delay_slack: float = 6 * MICROSECOND
+    price_update_interval: float = 30 * MICROSECOND
+    eta: float = 5.0
+    beta: float = 0.5
+    initial_burst_packets: int = 3
+    baseline_rtt: float = DEFAULT_RTT_SECONDS
+
+    def slowed_down(self, factor: float) -> "NumFabricParameters":
+        """Return a copy with the control loops slowed by ``factor``.
+
+        Used for small/large alpha (Sec. 6.2): the paper slows NUMFabric 2x
+        (price update 60 us, ewma 40 us) to keep the weight computation
+        numerically stable.
+        """
+        return replace(
+            self,
+            ewma_time=self.ewma_time * factor,
+            price_update_interval=self.price_update_interval * factor,
+        )
+
+
+@dataclass(frozen=True)
+class DgdParameters:
+    """Dual Gradient Descent parameters (Table 2, first row; Eq. (14))."""
+
+    price_update_interval: float = 16 * MICROSECOND
+    utilization_gain: float = 4e-9 / 1e6  # 4e-9 per Mbps -> per bps
+    queue_gain: float = 1.2e-10  # per byte
+    max_outstanding_bdp: float = 2.0
+
+    @property
+    def gain_a(self) -> float:
+        """Alias matching the paper's ``a`` (per bps of rate mismatch)."""
+        return self.utilization_gain
+
+    @property
+    def gain_b(self) -> float:
+        """Alias matching the paper's ``b`` (per byte of queue)."""
+        return self.queue_gain
+
+
+@dataclass(frozen=True)
+class RcpStarParameters:
+    """RCP* parameters (Table 2, second row; Eq. (15))."""
+
+    rate_update_interval: float = 16 * MICROSECOND
+    gain_a: float = 3.6
+    gain_b: float = 1.8
+    alpha: float = 1.0
+    max_outstanding_bdp: float = 2.0
+
+
+@dataclass(frozen=True)
+class DctcpParameters:
+    """DCTCP parameters used for the Figure 4(b) comparison."""
+
+    marking_threshold_packets: int = 65
+    gain: float = 1.0 / 16.0
+    initial_window_packets: int = 10
+    mtu_bytes: int = DEFAULT_MTU_BYTES
+
+
+@dataclass(frozen=True)
+class PfabricParameters:
+    """pFabric parameters (priority by remaining flow size)."""
+
+    initial_window_bdp: float = 1.0
+    retransmission_timeout: float = 45 * MICROSECOND
+    queue_capacity_packets: int = 24
+    mtu_bytes: int = DEFAULT_MTU_BYTES
+
+
+@dataclass(frozen=True)
+class SimulationParameters:
+    """Shared simulation/topology constants used across experiments (Sec. 6)."""
+
+    num_servers: int = 128
+    num_leaves: int = 8
+    num_spines: int = 4
+    edge_link_rate: float = 10e9
+    core_link_rate: float = 40e9
+    buffer_bytes: int = 1_000_000
+    mtu_bytes: int = DEFAULT_MTU_BYTES
+    baseline_rtt: float = DEFAULT_RTT_SECONDS
+
+    @property
+    def bandwidth_delay_product_bytes(self) -> float:
+        """BDP of an edge link at the baseline RTT (~200 KB in the paper)."""
+        return self.edge_link_rate * self.baseline_rtt / 8.0
+
+
+def default_parameters() -> Dict[str, object]:
+    """Return the Table 2 defaults for every scheme, keyed by scheme name."""
+    return {
+        "NUMFabric": NumFabricParameters(),
+        "DGD": DgdParameters(),
+        "RCP*": RcpStarParameters(),
+        "DCTCP": DctcpParameters(),
+        "pFabric": PfabricParameters(),
+        "simulation": SimulationParameters(),
+    }

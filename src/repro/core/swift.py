@@ -1,0 +1,111 @@
+"""Swift rate control (Sec. 4.1): packet-pair rate estimation + window sizing.
+
+The Swift sender estimates the bandwidth available to it at its bottleneck
+from the inter-packet times observed by the receiver (echoed back in ACKs),
+smooths the samples with an EWMA filter, and sets its congestion window to
+``W = R_hat * (d0 + dt)``: just above the bandwidth-delay product so that the
+flow always keeps a few packets queued at its WFQ bottleneck but never builds
+large buffers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import NumFabricParameters
+
+
+@dataclass
+class RateSample:
+    """One rate sample derived from an ACK."""
+
+    time: float
+    bytes_acked: int
+    inter_packet_time: float
+
+    @property
+    def rate(self) -> float:
+        """Instantaneous rate estimate in bits per second."""
+        if self.inter_packet_time <= 0:
+            return 0.0
+        return 8.0 * self.bytes_acked / self.inter_packet_time
+
+
+class SwiftRateControl:
+    """Per-flow Swift rate-control state machine.
+
+    Parameters
+    ----------
+    params:
+        NUMFabric parameters; ``ewma_time`` and ``delay_slack`` are used.
+    mtu_bytes:
+        Packet size used to express the window in packets.
+    min_window_bytes:
+        Lower bound on the window so a flow can always keep at least one
+        packet in flight (WFQ requires a backlogged flow to be scheduled).
+    """
+
+    def __init__(
+        self,
+        params: Optional[NumFabricParameters] = None,
+        mtu_bytes: int = 1500,
+        min_window_bytes: Optional[int] = None,
+    ):
+        self.params = params or NumFabricParameters()
+        self.mtu_bytes = mtu_bytes
+        self.min_window_bytes = min_window_bytes if min_window_bytes is not None else mtu_bytes
+        self._rate_estimate: Optional[float] = None
+        self._last_update_time: Optional[float] = None
+        self.samples_seen = 0
+
+    @property
+    def rate_estimate(self) -> Optional[float]:
+        """Current EWMA estimate of the available bandwidth (bits/s)."""
+        return self._rate_estimate
+
+    def on_ack(self, time: float, bytes_acked: int, inter_packet_time: float) -> Optional[float]:
+        """Incorporate one ACK's rate sample; return the updated estimate.
+
+        The EWMA is time-based: the weight of the new sample depends on the
+        elapsed time since the last update relative to ``ewma_time``, which
+        makes the filter behave consistently whether ACKs arrive densely
+        (high rate) or sparsely (low rate).
+        """
+        sample = RateSample(time=time, bytes_acked=bytes_acked, inter_packet_time=inter_packet_time)
+        rate = sample.rate
+        if rate <= 0.0:
+            return self._rate_estimate
+        self.samples_seen += 1
+        if self._rate_estimate is None:
+            self._rate_estimate = rate
+        else:
+            elapsed = (
+                time - self._last_update_time if self._last_update_time is not None else 0.0
+            )
+            elapsed = max(elapsed, 0.0)
+            gain = 1.0 - math.exp(-elapsed / self.params.ewma_time) if elapsed > 0 else 0.5
+            # A zero elapsed time (several ACKs in a burst) still moves the
+            # estimate, but conservatively.
+            gain = min(max(gain, 0.05), 1.0)
+            self._rate_estimate += gain * (rate - self._rate_estimate)
+        self._last_update_time = time
+        return self._rate_estimate
+
+    def window_bytes(self) -> int:
+        """Return the Swift window ``W = R_hat * (d0 + dt)`` in bytes."""
+        if self._rate_estimate is None:
+            return self.params.initial_burst_packets * self.mtu_bytes
+        window = self._rate_estimate * (self.params.baseline_rtt + self.params.delay_slack) / 8.0
+        return int(max(window, self.min_window_bytes))
+
+    def window_packets(self) -> int:
+        """Window expressed in MTU-sized packets (at least one)."""
+        return max(1, self.window_bytes() // self.mtu_bytes)
+
+    def reset(self) -> None:
+        """Forget the rate estimate (e.g. after a long idle period)."""
+        self._rate_estimate = None
+        self._last_update_time = None
+        self.samples_seen = 0

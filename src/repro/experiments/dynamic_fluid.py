@@ -1,0 +1,180 @@
+"""Flow-level fluid simulation of dynamic workloads (used by Fig. 5).
+
+Flows arrive (Poisson), carry a finite number of bytes and depart when those
+bytes have been delivered.  Between flow-set changes, rates evolve according
+to a *rate policy*:
+
+* :class:`OracleRatePolicy` -- recompute the optimal NUM allocation whenever
+  the flow set changes (the paper's "ideal" reference);
+* :class:`SimulatorRatePolicy` -- advance a fluid control-loop simulator
+  (xWI, DGD or RCP*) one update interval at a time, so flows experience the
+  scheme's actual convergence behaviour.
+
+The result is, per flow, its completion time and therefore its average rate
+(size / FCT), which Fig. 5 compares across schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.utility import LogUtility, Utility
+from repro.fluid.network import FluidFlow, FluidNetwork
+from repro.fluid.oracle import solve_num
+from repro.workloads.poisson import FlowArrival
+
+
+@dataclass
+class CompletedFlow:
+    flow_id: int
+    size_bytes: int
+    start_time: float
+    finish_time: float
+
+    @property
+    def fct(self) -> float:
+        return self.finish_time - self.start_time
+
+    @property
+    def average_rate(self) -> float:
+        return 8.0 * self.size_bytes / self.fct if self.fct > 0 else float("inf")
+
+
+class RatePolicy:
+    """Produces the current rate allocation for the active flows."""
+
+    def on_flow_set_changed(self, network: FluidNetwork) -> None:
+        """Called after any arrival or departure."""
+
+    def rates(self, network: FluidNetwork, dt: float) -> Dict[object, float]:
+        """Return the rates to apply for the next ``dt`` seconds."""
+        raise NotImplementedError
+
+
+class OracleRatePolicy(RatePolicy):
+    """Instantaneously optimal rates, recomputed on every flow-set change."""
+
+    def __init__(self):
+        self._cached: Optional[Dict[object, float]] = None
+
+    def on_flow_set_changed(self, network: FluidNetwork) -> None:
+        self._cached = None
+
+    def rates(self, network: FluidNetwork, dt: float) -> Dict[object, float]:
+        if self._cached is None:
+            self._cached = solve_num(network).rates if network.flows else {}
+        return self._cached
+
+
+class SimulatorRatePolicy(RatePolicy):
+    """Rates taken from a fluid control-loop simulator advanced step by step.
+
+    ``simulator_factory`` builds the simulator around the (shared) network;
+    it is advanced one iteration per ``step_interval`` of simulated time, so
+    schemes with slower convergence deliver fewer bytes to short flows --
+    exactly the effect Fig. 5 measures.
+    """
+
+    def __init__(self, simulator_factory: Callable[[FluidNetwork], object]):
+        self.simulator_factory = simulator_factory
+        self._simulator = None
+        self._last_rates: Dict[object, float] = {}
+
+    def _ensure(self, network: FluidNetwork):
+        if self._simulator is None:
+            self._simulator = self.simulator_factory(network)
+        return self._simulator
+
+    def on_flow_set_changed(self, network: FluidNetwork) -> None:
+        self._ensure(network)
+
+    def rates(self, network: FluidNetwork, dt: float) -> Dict[object, float]:
+        simulator = self._ensure(network)
+        record = simulator.step()
+        self._last_rates = record.rates
+        return self._last_rates
+
+
+class FlowLevelSimulation:
+    """Run a dynamic workload at flow level under a given rate policy."""
+
+    def __init__(
+        self,
+        network: FluidNetwork,
+        path_for_arrival: Callable[[FlowArrival], tuple],
+        rate_policy: RatePolicy,
+        step_interval: float = 30e-6,
+        utility_for_arrival: Optional[Callable[[FlowArrival], Utility]] = None,
+    ):
+        self.network = network
+        self.path_for_arrival = path_for_arrival
+        self.rate_policy = rate_policy
+        self.step_interval = step_interval
+        self.utility_for_arrival = utility_for_arrival or (lambda arrival: LogUtility())
+        self.completed: List[CompletedFlow] = []
+        self._remaining_bytes: Dict[int, float] = {}
+        self._start_times: Dict[int, float] = {}
+        self._sizes: Dict[int, int] = {}
+
+    def run(self, arrivals: List[FlowArrival], max_time: Optional[float] = None) -> List[CompletedFlow]:
+        """Process all arrivals and run until every admitted flow completes."""
+        pending = sorted(arrivals, key=lambda a: a.time)
+        time = 0.0
+        index = 0
+        horizon = max_time if max_time is not None else float("inf")
+
+        while time < horizon and (index < len(pending) or self._remaining_bytes):
+            # Admit every flow that has arrived by now.
+            changed = False
+            while index < len(pending) and pending[index].time <= time:
+                arrival = pending[index]
+                path = self.path_for_arrival(arrival)
+                self.network.add_flow(
+                    FluidFlow(arrival.flow_id, path, self.utility_for_arrival(arrival))
+                )
+                self._remaining_bytes[arrival.flow_id] = float(arrival.size_bytes)
+                self._start_times[arrival.flow_id] = arrival.time
+                self._sizes[arrival.flow_id] = arrival.size_bytes
+                index += 1
+                changed = True
+            if changed:
+                self.rate_policy.on_flow_set_changed(self.network)
+
+            if not self._remaining_bytes:
+                # Jump to the next arrival.
+                if index < len(pending):
+                    time = pending[index].time
+                    continue
+                break
+
+            rates = self.rate_policy.rates(self.network, self.step_interval)
+            # Advance time by one step (or less, if an arrival happens sooner).
+            dt = self.step_interval
+            if index < len(pending):
+                dt = min(dt, max(pending[index].time - time, 1e-9))
+            finished: List[int] = []
+            for flow_id, remaining in self._remaining_bytes.items():
+                rate = rates.get(flow_id, 0.0)
+                delivered = rate * dt / 8.0
+                new_remaining = remaining - delivered
+                if new_remaining <= 0.0:
+                    finished.append(flow_id)
+                else:
+                    self._remaining_bytes[flow_id] = new_remaining
+            time += dt
+            if finished:
+                for flow_id in finished:
+                    self.completed.append(
+                        CompletedFlow(
+                            flow_id=flow_id,
+                            size_bytes=self._sizes[flow_id],
+                            start_time=self._start_times[flow_id],
+                            finish_time=time,
+                        )
+                    )
+                    del self._remaining_bytes[flow_id]
+                    self.network.remove_flow(flow_id)
+                self.rate_policy.on_flow_set_changed(self.network)
+
+        return self.completed

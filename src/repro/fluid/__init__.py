@@ -1,0 +1,31 @@
+"""Iteration-level (fluid) models: solvers and control-loop dynamics.
+
+One fluid iteration corresponds to one price/rate-update interval of the
+corresponding distributed protocol (about two RTTs for NUMFabric, one RTT
+for DGD and RCP*), so iteration counts translate directly into wall-clock
+convergence times via the paper's update intervals.
+"""
+
+from repro.fluid.network import FluidFlow, FluidNetwork, FlowGroup
+from repro.fluid.maxmin import weighted_max_min
+from repro.fluid.oracle import solve_num, solve_num_multipath
+from repro.fluid.dgd import DgdFluidSimulator
+from repro.fluid.rcp import RcpStarFluidSimulator
+from repro.fluid.xwi import XwiFluidSimulator
+from repro.fluid.dctcp import DctcpFluidSimulator
+from repro.fluid.convergence import convergence_iterations, ConvergenceCriterion
+
+__all__ = [
+    "FluidFlow",
+    "FluidNetwork",
+    "FlowGroup",
+    "weighted_max_min",
+    "solve_num",
+    "solve_num_multipath",
+    "DgdFluidSimulator",
+    "RcpStarFluidSimulator",
+    "XwiFluidSimulator",
+    "DctcpFluidSimulator",
+    "convergence_iterations",
+    "ConvergenceCriterion",
+]

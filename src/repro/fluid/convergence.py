@@ -1,0 +1,115 @@
+"""Convergence-time measurement (Sec. 6.1's criterion).
+
+The paper declares convergence of a network event when the rates of at
+least 95% of the flows are within 10% of the optimal NUM allocation, and
+remain there for at least 5 ms.  The fluid engine measures this in
+iterations; :func:`iterations_to_seconds` converts using the scheme's
+update interval so results are reported in the paper's units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+FlowId = object
+
+
+@dataclass(frozen=True)
+class ConvergenceCriterion:
+    """Parameters of the paper's convergence test."""
+
+    flow_fraction: float = 0.95
+    rate_tolerance: float = 0.10
+    hold_iterations: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.flow_fraction <= 1.0:
+            raise ValueError("flow_fraction must be in (0, 1]")
+        if self.rate_tolerance <= 0.0:
+            raise ValueError("rate_tolerance must be positive")
+        if self.hold_iterations < 1:
+            raise ValueError("hold_iterations must be at least 1")
+
+
+def fraction_converged(
+    rates: Mapping[FlowId, float],
+    optimal_rates: Mapping[FlowId, float],
+    tolerance: float,
+) -> float:
+    """Fraction of flows whose rate is within ``tolerance`` of its optimum."""
+    if not optimal_rates:
+        return 1.0
+    within = 0
+    for flow_id, optimal in optimal_rates.items():
+        rate = rates.get(flow_id, 0.0)
+        if optimal <= 0.0:
+            within += 1 if rate <= tolerance else 0
+            continue
+        if abs(rate - optimal) <= tolerance * optimal:
+            within += 1
+    return within / len(optimal_rates)
+
+
+def convergence_iterations(
+    rate_history: Sequence[Mapping[FlowId, float]],
+    optimal_rates: Mapping[FlowId, float],
+    criterion: Optional[ConvergenceCriterion] = None,
+) -> Optional[int]:
+    """First iteration after which the convergence criterion holds.
+
+    Returns ``None`` if the criterion is never satisfied (and held for
+    ``hold_iterations`` consecutive iterations) within the recorded history.
+    """
+    criterion = criterion or ConvergenceCriterion()
+    run_length = 0
+    for index, rates in enumerate(rate_history):
+        fraction = fraction_converged(rates, optimal_rates, criterion.rate_tolerance)
+        if fraction >= criterion.flow_fraction:
+            run_length += 1
+            if run_length >= criterion.hold_iterations:
+                return index - criterion.hold_iterations + 1
+        else:
+            run_length = 0
+    return None
+
+
+def iterations_to_seconds(iterations: Optional[int], seconds_per_iteration: float) -> Optional[float]:
+    """Convert an iteration count into wall-clock time."""
+    if iterations is None:
+        return None
+    return iterations * seconds_per_iteration
+
+
+def per_flow_convergence(
+    rate_history: Sequence[Mapping[FlowId, float]],
+    optimal_rates: Mapping[FlowId, float],
+    tolerance: float = 0.10,
+) -> Dict[FlowId, Optional[int]]:
+    """Per-flow iteration at which the flow first reaches (and keeps) its optimum.
+
+    A flow counts as converged at iteration ``t`` if its rate stays within
+    ``tolerance`` of the optimum from ``t`` to the end of the history.
+    """
+    result: Dict[FlowId, Optional[int]] = {}
+    for flow_id, optimal in optimal_rates.items():
+        converged_at: Optional[int] = None
+        for index in range(len(rate_history) - 1, -1, -1):
+            rate = rate_history[index].get(flow_id, 0.0)
+            if optimal <= 0.0:
+                ok = rate <= tolerance
+            else:
+                ok = abs(rate - optimal) <= tolerance * optimal
+            if ok:
+                converged_at = index
+            else:
+                break
+        result[flow_id] = converged_at
+    return result
+
+
+def rates_over_time(
+    rate_history: Sequence[Mapping[FlowId, float]], flow_id: FlowId
+) -> List[float]:
+    """Extract one flow's rate trajectory from a rate history."""
+    return [rates.get(flow_id, 0.0) for rates in rate_history]

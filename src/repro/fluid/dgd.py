@@ -1,0 +1,115 @@
+"""Fluid model of the Dual Gradient Descent (DGD) baseline (Sec. 3, Eq. (14)).
+
+Sources set their rate directly from the sum of link prices on their path
+(Eq. (3)); each link adjusts its price from the local rate-capacity mismatch
+and queue backlog (Eq. (14)).  Because the rates are applied open-loop, the
+network can be transiently over- or under-subscribed; the queue term models
+the backlog this creates and its effect on the price.
+
+The gains are expressed in normalized form (per unit of relative
+over-subscription and per BDP of queueing) so the same defaults work across
+link speeds; Table 2's absolute values correspond to this normalized form at
+10 Gbps.  As in the paper, flows are window-limited to ``max_outstanding_bdp``
+bandwidth-delay products, which in fluid form caps the sending rate at that
+multiple of the path capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.fluid.network import FluidNetwork, FlowId, LinkId
+
+
+@dataclass
+class DgdFluidParameters:
+    """Normalized DGD gains for the fluid engine."""
+
+    utilization_gain: float = 0.2
+    queue_gain: float = 0.1
+    update_interval: float = 16e-6
+    rtt: float = 16e-6
+    max_outstanding_bdp: float = 2.0
+
+
+@dataclass
+class DgdIterationRecord:
+    iteration: int
+    rates: Dict[FlowId, float]
+    prices: Dict[LinkId, float]
+    queues: Dict[LinkId, float]
+
+
+class DgdFluidSimulator:
+    """Iterates the DGD price/rate dynamics on a :class:`FluidNetwork`."""
+
+    def __init__(
+        self,
+        network: FluidNetwork,
+        params: Optional[DgdFluidParameters] = None,
+        initial_price: float = 1e-3,
+    ):
+        self.network = network
+        self.params = params or DgdFluidParameters()
+        self.prices: Dict[LinkId, float] = {link: initial_price for link in network.links}
+        self.queues: Dict[LinkId, float] = {link: 0.0 for link in network.links}
+        self.iteration = 0
+        self.history: List[DgdIterationRecord] = []
+
+    def _path_price(self, path) -> float:
+        return sum(self.prices.get(link, 0.0) for link in path)
+
+    def _flow_rates(self) -> Dict[FlowId, float]:
+        rates: Dict[FlowId, float] = {}
+        for flow in self.network.flows:
+            price = self._path_price(flow.path)
+            cap = self.network.path_capacity(flow.flow_id)
+            limit = self.params.max_outstanding_bdp * cap
+            if price <= 0.0:
+                rate = limit
+            else:
+                rate = min(flow.utility.inverse_marginal(price), limit)
+            rates[flow.flow_id] = max(rate, 0.0)
+        return rates
+
+    def step(self) -> DgdIterationRecord:
+        """One price-update interval of DGD."""
+        capacities = self.network.capacities
+        rates = self._flow_rates()
+        load = self.network.link_load(rates)
+        dt = self.params.update_interval
+        for link, capacity in capacities.items():
+            # Queue backlog (in "capacity-seconds", i.e. normalized bytes):
+            # integrates the over-subscription, drains when under-subscribed.
+            excess = (load[link] - capacity) / capacity
+            self.queues[link] = max(self.queues[link] + excess * dt, 0.0)
+            queue_in_bdp = self.queues[link] / self.params.rtt
+            # Scale the additive update by the typical price magnitude so the
+            # normalized gains behave consistently across utility functions.
+            price_scale = max(self.prices[link], 1e-12)
+            delta = (
+                self.params.utilization_gain * excess
+                + self.params.queue_gain * queue_in_bdp
+            )
+            self.prices[link] = max(self.prices[link] + delta * price_scale, 1e-15)
+
+        record = DgdIterationRecord(
+            iteration=self.iteration,
+            rates=dict(rates),
+            prices=dict(self.prices),
+            queues=dict(self.queues),
+        )
+        self.iteration += 1
+        self.history.append(record)
+        return record
+
+    def run(self, iterations: int) -> List[DgdIterationRecord]:
+        return [self.step() for _ in range(iterations)]
+
+    def rate_history(self) -> List[Dict[FlowId, float]]:
+        return [record.rates for record in self.history]
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        return self.params.update_interval

@@ -1,0 +1,189 @@
+"""Fluid-level network description: links, flows and multipath flow groups.
+
+The fluid engine works on an abstract view of the network: a set of
+capacitated links and a set of flows, each traversing an ordered list of
+links and carrying a utility function.  Multipath (resource-pooling) traffic
+is expressed with :class:`FlowGroup`: the member sub-flows share a single
+utility defined on their aggregate rate (Table 1, fourth row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.utility import LogUtility, Utility
+
+LinkId = Hashable
+FlowId = Hashable
+
+
+@dataclass
+class FluidFlow:
+    """A unidirectional flow (or sub-flow) traversing a fixed path of links."""
+
+    flow_id: FlowId
+    path: Tuple[LinkId, ...]
+    utility: Utility = field(default_factory=LogUtility)
+    group_id: Optional[Hashable] = None
+
+    def __post_init__(self) -> None:
+        self.path = tuple(self.path)
+        if not self.path:
+            raise ValueError(f"flow {self.flow_id!r} must traverse at least one link")
+
+
+@dataclass
+class FlowGroup:
+    """A set of sub-flows whose utility is a function of their aggregate rate."""
+
+    group_id: Hashable
+    utility: Utility
+    member_ids: Tuple[FlowId, ...] = ()
+
+
+class FluidNetwork:
+    """A capacitated network shared by a (mutable) set of fluid flows.
+
+    The flow set can change between iterations (flow arrivals/departures in
+    the semi-dynamic and dynamic scenarios); the fluid simulators read the
+    current set each time they recompute an allocation.
+    """
+
+    def __init__(self, capacities: Dict[LinkId, float]):
+        if not capacities:
+            raise ValueError("a network needs at least one link")
+        for link, capacity in capacities.items():
+            if capacity <= 0:
+                raise ValueError(f"link {link!r} must have positive capacity, got {capacity}")
+        self._capacities: Dict[LinkId, float] = dict(capacities)
+        self._flows: Dict[FlowId, FluidFlow] = {}
+        self._groups: Dict[Hashable, FlowGroup] = {}
+
+    # -- links ------------------------------------------------------------
+
+    @property
+    def capacities(self) -> Dict[LinkId, float]:
+        return dict(self._capacities)
+
+    def capacity(self, link: LinkId) -> float:
+        return self._capacities[link]
+
+    def set_capacity(self, link: LinkId, capacity: float) -> None:
+        """Change a link's capacity (used by the Fig. 10 experiment)."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if link not in self._capacities:
+            raise KeyError(f"unknown link {link!r}")
+        self._capacities[link] = capacity
+
+    @property
+    def links(self) -> List[LinkId]:
+        return list(self._capacities)
+
+    # -- flows ------------------------------------------------------------
+
+    def add_flow(self, flow: FluidFlow) -> FluidFlow:
+        if flow.flow_id in self._flows:
+            raise ValueError(f"duplicate flow id {flow.flow_id!r}")
+        for link in flow.path:
+            if link not in self._capacities:
+                raise KeyError(f"flow {flow.flow_id!r} references unknown link {link!r}")
+        self._flows[flow.flow_id] = flow
+        if flow.group_id is not None and flow.group_id in self._groups:
+            group = self._groups[flow.group_id]
+            group.member_ids = tuple(list(group.member_ids) + [flow.flow_id])
+        return flow
+
+    def remove_flow(self, flow_id: FlowId) -> FluidFlow:
+        flow = self._flows.pop(flow_id)
+        if flow.group_id is not None and flow.group_id in self._groups:
+            group = self._groups[flow.group_id]
+            group.member_ids = tuple(m for m in group.member_ids if m != flow_id)
+        return flow
+
+    def add_group(self, group: FlowGroup) -> FlowGroup:
+        if group.group_id in self._groups:
+            raise ValueError(f"duplicate group id {group.group_id!r}")
+        self._groups[group.group_id] = group
+        return group
+
+    @property
+    def flows(self) -> List[FluidFlow]:
+        return list(self._flows.values())
+
+    @property
+    def flow_ids(self) -> List[FlowId]:
+        return list(self._flows)
+
+    @property
+    def groups(self) -> List[FlowGroup]:
+        return list(self._groups.values())
+
+    def flow(self, flow_id: FlowId) -> FluidFlow:
+        return self._flows[flow_id]
+
+    def group(self, group_id: Hashable) -> FlowGroup:
+        return self._groups[group_id]
+
+    def flows_on_link(self, link: LinkId) -> List[FluidFlow]:
+        return [flow for flow in self._flows.values() if link in flow.path]
+
+    def path_capacity(self, flow_id: FlowId) -> float:
+        """The capacity of the narrowest link on a flow's path."""
+        flow = self._flows[flow_id]
+        return min(self._capacities[link] for link in flow.path)
+
+    def link_load(self, rates: Dict[FlowId, float]) -> Dict[LinkId, float]:
+        """Aggregate traffic per link for a given rate assignment."""
+        load = {link: 0.0 for link in self._capacities}
+        for flow_id, rate in rates.items():
+            flow = self._flows.get(flow_id)
+            if flow is None:
+                continue
+            for link in flow.path:
+                load[link] += rate
+        return load
+
+    def is_feasible(self, rates: Dict[FlowId, float], tolerance: float = 1e-6) -> bool:
+        """Check that a rate assignment respects every link capacity."""
+        load = self.link_load(rates)
+        return all(
+            load[link] <= self._capacities[link] * (1.0 + tolerance) for link in self._capacities
+        )
+
+    def total_utility(self, rates: Dict[FlowId, float]) -> float:
+        """Objective value of the NUM problem at a given rate assignment.
+
+        Grouped flows contribute their group utility evaluated at the
+        aggregate member rate; ungrouped flows contribute their own utility.
+        """
+        total = 0.0
+        grouped_members = set()
+        for group in self._groups.values():
+            aggregate = sum(rates.get(member, 0.0) for member in group.member_ids)
+            grouped_members.update(group.member_ids)
+            total += group.utility.value(aggregate)
+        for flow in self._flows.values():
+            if flow.flow_id in grouped_members:
+                continue
+            total += flow.utility.value(rates.get(flow.flow_id, 0.0))
+        return total
+
+    # -- convenience constructors -----------------------------------------
+
+    @classmethod
+    def single_link(cls, capacity: float, n_flows: int,
+                    utilities: Optional[Sequence[Utility]] = None) -> "FluidNetwork":
+        """A single bottleneck shared by ``n_flows`` flows."""
+        network = cls({"link": capacity})
+        for i in range(n_flows):
+            utility = utilities[i] if utilities is not None else LogUtility()
+            network.add_flow(FluidFlow(flow_id=i, path=("link",), utility=utility))
+        return network
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FluidNetwork(links={len(self._capacities)}, flows={len(self._flows)}, "
+            f"groups={len(self._groups)})"
+        )

@@ -1,0 +1,363 @@
+"""The Oracle: a centralized solver for the NUM problem (ground truth).
+
+The paper uses a numerical fluid model to compute the optimal allocation for
+the current topology and flow set, against which the distributed schemes are
+judged.  We implement two solvers:
+
+* :func:`solve_num` -- single-path flows.  Solves the *dual* problem (over
+  link prices) with L-BFGS-B.  The dual is smooth because the utilities are
+  strictly concave, and its dimension is the number of links, which is far
+  smaller than the number of flows in datacenter scenarios, so this scales
+  to thousands of flows easily.
+* :func:`solve_num_multipath` -- flows grouped into multipath aggregates
+  whose utility applies to the aggregate rate (resource pooling).  Solves
+  the primal directly with SLSQP (suitable for the evaluation's scale of a
+  few hundred sub-flows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.fluid.network import FluidNetwork, FlowId, LinkId
+
+_MIN_RATE_FRACTION = 1e-9
+
+
+@dataclass
+class OracleResult:
+    """Optimal allocation returned by the Oracle."""
+
+    rates: Dict[FlowId, float]
+    prices: Dict[LinkId, float]
+    objective: float
+    iterations: int
+    converged: bool
+
+
+def _path_price(prices: np.ndarray, link_index: Mapping[LinkId, int], path) -> float:
+    return float(sum(prices[link_index[link]] for link in path))
+
+
+def solve_num(
+    network: FluidNetwork,
+    max_iterations: int = 2000,
+    tolerance: float = 1e-9,
+    initial_prices: Optional[Mapping[LinkId, float]] = None,
+) -> OracleResult:
+    """Solve ``max sum_i U_i(x_i)`` s.t. ``Rx <= c`` for single-path flows.
+
+    Flows that belong to a group (multipath aggregates) are not supported
+    here; use :func:`solve_num_multipath`.
+    """
+    flows = network.flows
+    if any(flow.group_id is not None for flow in flows):
+        raise ValueError("network contains multipath groups; use solve_num_multipath")
+    links = network.links
+    link_index = {link: i for i, link in enumerate(links)}
+    capacities = np.array([network.capacity(link) for link in links], dtype=float)
+
+    if not flows:
+        return OracleResult(rates={}, prices={link: 0.0 for link in links}, objective=0.0,
+                            iterations=0, converged=True)
+
+    # Per-flow rate cap: the narrowest link on the path.  Clipping at the cap
+    # makes the inner maximization bounded even when the path price is ~0.
+    rate_caps = {flow.flow_id: network.path_capacity(flow.flow_id) for flow in flows}
+    rate_floors = {fid: cap * _MIN_RATE_FRACTION for fid, cap in rate_caps.items()}
+
+    # Optimal prices differ by many orders of magnitude across utility
+    # families (for example ~1e-9 for log utilities at 10 Gbps but ~1e-19 for
+    # alpha = 2), which wrecks the conditioning of a naive dual solve.  We
+    # therefore optimize over scaled prices ``z`` with ``p_l = scale_l * z_l``
+    # where ``scale_l`` estimates the optimal price of link ``l`` as the
+    # median marginal utility of its flows at an equal-share allocation.
+    flows_per_link = {link: max(len(network.flows_on_link(link)), 1) for link in links}
+    price_scale = np.ones(len(links))
+    for link in links:
+        flows_here = network.flows_on_link(link)
+        if not flows_here:
+            continue
+        share = network.capacity(link) / len(flows_here)
+        marginals = sorted(flow.utility.marginal(share) for flow in flows_here)
+        price_scale[link_index[link]] = max(marginals[len(marginals) // 2], 1e-300)
+    objective_scale = float(np.max(capacities) * np.median(price_scale))
+
+    def primal_rates(prices: np.ndarray) -> Dict[FlowId, float]:
+        rates = {}
+        for flow in flows:
+            q = _path_price(prices, link_index, flow.path)
+            cap = rate_caps[flow.flow_id]
+            if q <= 0.0:
+                rate = cap
+            else:
+                rate = min(flow.utility.inverse_marginal(q), cap)
+            rates[flow.flow_id] = max(rate, rate_floors[flow.flow_id])
+        return rates
+
+    def dual_and_gradient(z: np.ndarray) -> Tuple[float, np.ndarray]:
+        prices = price_scale * z
+        rates = primal_rates(prices)
+        value = float(np.dot(prices, capacities))
+        load = np.zeros(len(links))
+        for flow in flows:
+            x = rates[flow.flow_id]
+            q = _path_price(prices, link_index, flow.path)
+            value += flow.utility.value(x) - x * q
+            for link in flow.path:
+                load[link_index[link]] += x
+        gradient = price_scale * (capacities - load)
+        return value / objective_scale, gradient / objective_scale
+
+    if initial_prices is not None:
+        z0 = np.array(
+            [max(initial_prices.get(link, 0.0), 0.0) for link in links], dtype=float
+        ) / price_scale
+    else:
+        # Start at the scale estimate itself (z = 1) scaled down per path
+        # length so multi-hop paths are not wildly overpriced initially.
+        z0 = np.full(len(links), 0.5, dtype=float)
+
+    result = optimize.minimize(
+        dual_and_gradient,
+        z0,
+        jac=True,
+        bounds=[(0.0, None)] * len(links),
+        method="L-BFGS-B",
+        options={"maxiter": max_iterations, "ftol": tolerance, "gtol": 1e-12},
+    )
+    prices = price_scale * np.maximum(result.x, 0.0)
+    rates = primal_rates(prices)
+    rates = _rescale_to_feasible(network, rates)
+    objective = network.total_utility(rates)
+
+    # Sanity check: the optimum can never be worse than plain max-min (a
+    # feasible allocation).  For very steep utilities (alpha >= ~4) the dual
+    # becomes so ill-conditioned that L-BFGS-B can stall far from the
+    # optimum; in that case fall back to a primal SLSQP solve in normalized
+    # units, which is slower but robust for the evaluation's problem sizes.
+    from repro.fluid.maxmin import max_min as _max_min
+
+    maxmin_rates = _max_min({f.flow_id: f.path for f in flows}, network.capacities)
+    maxmin_objective = network.total_utility(maxmin_rates)
+    if (not result.success or objective < maxmin_objective) and len(flows) <= 400:
+        fallback = _solve_num_primal(network, max_iterations=max_iterations)
+        if fallback.objective >= objective:
+            return fallback
+    if objective < maxmin_objective:
+        # Even the fallback could not beat max-min (or the problem is too
+        # large for it); max-min itself is a feasible, better allocation.
+        return OracleResult(
+            rates=maxmin_rates,
+            prices={link: 0.0 for link in links},
+            objective=maxmin_objective,
+            iterations=int(result.nit),
+            converged=False,
+        )
+    return OracleResult(
+        rates=rates,
+        prices={link: float(prices[link_index[link]]) for link in links},
+        objective=objective,
+        iterations=int(result.nit),
+        converged=bool(result.success),
+    )
+
+
+def _solve_num_primal(network: FluidNetwork, max_iterations: int = 500) -> OracleResult:
+    """Primal SLSQP solve for single-path flows (the dual solver's fallback)."""
+    flows = network.flows
+    links = network.links
+    link_index = {link: i for i, link in enumerate(links)}
+    flow_index = {flow.flow_id: i for i, flow in enumerate(flows)}
+    capacities = np.array([network.capacity(link) for link in links], dtype=float)
+    routing = np.zeros((len(links), len(flows)))
+    for flow in flows:
+        for link in flow.path:
+            routing[link_index[link], flow_index[flow.flow_id]] = 1.0
+    rate_unit = float(np.max(capacities))
+    scaled_capacities = capacities / rate_unit
+    floor = 1e-9
+
+    def total_utility(y: np.ndarray) -> float:
+        y = np.maximum(y, floor)
+        return sum(
+            flow.utility.value(y[flow_index[flow.flow_id]] * rate_unit) for flow in flows
+        )
+
+    y0 = np.array([network.path_capacity(f.flow_id) / (4.0 * rate_unit) for f in flows])
+    objective_scale = max(abs(total_utility(y0)), 1e-12)
+
+    # Analytic gradient: finite differences are hopeless here because for
+    # steep utilities the objective's magnitude dwarfs the change produced
+    # by SLSQP's default step.
+    def negative_objective_and_gradient(y: np.ndarray):
+        y = np.maximum(y, floor)
+        value = total_utility(y)
+        gradient = np.array(
+            [
+                flow.utility.marginal(y[flow_index[flow.flow_id]] * rate_unit) * rate_unit
+                for flow in flows
+            ]
+        )
+        return -value / objective_scale, -gradient / objective_scale
+
+    constraints = [
+        {"type": "ineq", "fun": lambda y, row=row: scaled_capacities[row] - routing[row] @ y,
+         "jac": lambda y, row=row: -routing[row]}
+        for row in range(len(links))
+    ]
+    result = optimize.minimize(
+        negative_objective_and_gradient,
+        y0,
+        jac=True,
+        method="SLSQP",
+        bounds=[(floor, 1.0) for _ in flows],
+        constraints=constraints,
+        options={"maxiter": max_iterations, "ftol": 1e-12},
+    )
+    rates = {
+        flow.flow_id: float(max(result.x[flow_index[flow.flow_id]], 0.0) * rate_unit)
+        for flow in flows
+    }
+    rates = _rescale_to_feasible(network, rates)
+    return OracleResult(
+        rates=rates,
+        prices={link: 0.0 for link in links},
+        objective=network.total_utility(rates),
+        iterations=int(result.nit),
+        converged=bool(result.success),
+    )
+
+
+def _rescale_to_feasible(network: FluidNetwork, rates: Dict[FlowId, float]) -> Dict[FlowId, float]:
+    """Scale rates down uniformly per-flow so no link is oversubscribed.
+
+    The dual solution can be very slightly infeasible due to finite solver
+    tolerance; downstream convergence metrics expect a feasible reference.
+    """
+    load = network.link_load(rates)
+    overload = {
+        link: load[link] / network.capacity(link)
+        for link in network.capacities
+        if load[link] > network.capacity(link)
+    }
+    if not overload:
+        return rates
+    adjusted = dict(rates)
+    for flow in network.flows:
+        worst = max((overload.get(link, 1.0) for link in flow.path), default=1.0)
+        if worst > 1.0:
+            adjusted[flow.flow_id] = rates[flow.flow_id] / worst
+    return adjusted
+
+
+def solve_num_multipath(
+    network: FluidNetwork,
+    max_iterations: int = 500,
+    tolerance: float = 1e-9,
+) -> OracleResult:
+    """Solve the NUM problem when flows are grouped into multipath aggregates.
+
+    The objective is ``sum_g U_g(sum of member sub-flow rates)`` plus the
+    individual utilities of ungrouped flows.  Solved in the primal with
+    SLSQP; intended for the evaluation's scale (hundreds of sub-flows).
+    """
+    flows = network.flows
+    links = network.links
+    link_index = {link: i for i, link in enumerate(links)}
+    flow_index = {flow.flow_id: i for i, flow in enumerate(flows)}
+    capacities = np.array([network.capacity(link) for link in links], dtype=float)
+
+    if not flows:
+        return OracleResult(rates={}, prices={link: 0.0 for link in links}, objective=0.0,
+                            iterations=0, converged=True)
+
+    routing = np.zeros((len(links), len(flows)))
+    for flow in flows:
+        for link in flow.path:
+            routing[link_index[link], flow_index[flow.flow_id]] = 1.0
+
+    groups = network.groups
+    grouped_members = {m for g in groups for m in g.member_ids}
+    ungrouped = [flow for flow in flows if flow.flow_id not in grouped_members]
+
+    # Optimize in units of the largest link capacity so the variables,
+    # constraints and numerical gradients are all O(1); the objective is
+    # evaluated at the physical rates, so the optimum is unchanged.
+    rate_unit = float(np.max(capacities))
+    scaled_capacities = capacities / rate_unit
+    floor = 1e-9
+
+    # The objective magnitude varies across utility families; normalize it by
+    # its value at an equal-split starting point so SLSQP's ftol behaves
+    # consistently.
+    def total_utility(y: np.ndarray) -> float:
+        y = np.maximum(y, floor)
+        x = y * rate_unit
+        total = 0.0
+        for group in groups:
+            aggregate = sum(x[flow_index[m]] for m in group.member_ids if m in flow_index)
+            total += group.utility.value(aggregate)
+        for flow in ungrouped:
+            total += flow.utility.value(x[flow_index[flow.flow_id]])
+        return total
+
+    y0 = np.array(
+        [network.path_capacity(flow.flow_id) / (4.0 * rate_unit) for flow in flows]
+    )
+    objective_scale = max(abs(total_utility(y0)), 1e-12)
+
+    def negative_objective(y: np.ndarray) -> float:
+        return -total_utility(y) / objective_scale
+
+    constraints = [
+        {"type": "ineq", "fun": lambda y, row=row: scaled_capacities[row] - routing[row] @ y}
+        for row in range(len(links))
+    ]
+    bounds = [(floor, 1.0) for _ in flows]
+
+    result = optimize.minimize(
+        negative_objective,
+        y0,
+        method="SLSQP",
+        bounds=bounds,
+        constraints=constraints,
+        options={"maxiter": max_iterations, "ftol": tolerance},
+    )
+    rates = {
+        flow.flow_id: float(max(result.x[flow_index[flow.flow_id]], 0.0) * rate_unit)
+        for flow in flows
+    }
+    rates = _rescale_to_feasible(network, rates)
+    objective = network.total_utility(rates)
+    return OracleResult(
+        rates=rates,
+        prices={link: 0.0 for link in links},
+        objective=objective,
+        iterations=int(result.nit),
+        converged=bool(result.success),
+    )
+
+
+def proportional_fair_single_link(capacity: float, n_flows: int) -> List[float]:
+    """Closed form: proportional fairness on one link is an equal split."""
+    if n_flows <= 0:
+        return []
+    return [capacity / n_flows] * n_flows
+
+
+def alpha_fair_single_link(capacity: float, weights: List[float], alpha: float) -> List[float]:
+    """Closed-form weighted alpha-fair split of a single link.
+
+    At the optimum each flow gets ``capacity * w_i / sum w`` independent of
+    alpha (for alpha > 0), because the single-link weighted alpha-fair
+    problem always allocates in proportion to the weights.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive for a unique optimum")
+    total = sum(weights)
+    return [capacity * w / total for w in weights]

@@ -1,0 +1,102 @@
+"""Fluid model of RCP* -- RCP generalized for alpha-fairness (Sec. 6, Eq. (15)).
+
+Every link advertises a fair-share rate ``R_l`` that it adapts from its
+spare capacity and queue backlog.  A flow crossing links ``L(i)`` sends at
+``(sum_l R_l^{-alpha})^{-1/alpha}`` (Eq. (16)), which reduces to
+``min_l R_l`` as ``alpha -> inf`` (classic max-min RCP) and to the
+alpha-fair allocation at the fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.fluid.network import FluidNetwork, FlowId, LinkId
+
+
+@dataclass
+class RcpStarFluidParameters:
+    """RCP* gains (Table 2, second row) in normalized fluid form."""
+
+    gain_a: float = 0.4
+    gain_b: float = 0.2
+    alpha: float = 1.0
+    update_interval: float = 16e-6
+    rtt: float = 16e-6
+    max_outstanding_bdp: float = 2.0
+
+
+@dataclass
+class RcpIterationRecord:
+    iteration: int
+    rates: Dict[FlowId, float]
+    fair_rates: Dict[LinkId, float]
+    queues: Dict[LinkId, float]
+
+
+class RcpStarFluidSimulator:
+    """Iterates the RCP* fair-rate dynamics on a :class:`FluidNetwork`."""
+
+    def __init__(
+        self,
+        network: FluidNetwork,
+        params: Optional[RcpStarFluidParameters] = None,
+        initial_fraction: float = 0.1,
+    ):
+        self.network = network
+        self.params = params or RcpStarFluidParameters()
+        self.fair_rates: Dict[LinkId, float] = {
+            link: network.capacity(link) * initial_fraction for link in network.links
+        }
+        self.queues: Dict[LinkId, float] = {link: 0.0 for link in network.links}
+        self.iteration = 0
+        self.history: List[RcpIterationRecord] = []
+
+    def _flow_rates(self) -> Dict[FlowId, float]:
+        alpha = self.params.alpha
+        rates: Dict[FlowId, float] = {}
+        for flow in self.network.flows:
+            total = sum(self.fair_rates[link] ** (-alpha) for link in flow.path)
+            rate = total ** (-1.0 / alpha) if total > 0 else self.network.path_capacity(flow.flow_id)
+            limit = self.params.max_outstanding_bdp * self.network.path_capacity(flow.flow_id)
+            rates[flow.flow_id] = min(rate, limit)
+        return rates
+
+    def step(self) -> RcpIterationRecord:
+        capacities = self.network.capacities
+        rates = self._flow_rates()
+        load = self.network.link_load(rates)
+        interval = self.params.update_interval
+        rtt = self.params.rtt
+        for link, capacity in capacities.items():
+            excess = (load[link] - capacity) / capacity
+            self.queues[link] = max(self.queues[link] + excess * interval, 0.0)
+            queue_in_rtt = self.queues[link] / rtt
+            spare_fraction = (capacity - load[link]) / capacity
+            factor = 1.0 + (interval / rtt) * (
+                self.params.gain_a * spare_fraction - self.params.gain_b * queue_in_rtt
+            )
+            factor = min(max(factor, 0.5), 2.0)
+            new_rate = self.fair_rates[link] * factor
+            self.fair_rates[link] = min(max(new_rate, capacity * 1e-6), capacity)
+
+        record = RcpIterationRecord(
+            iteration=self.iteration,
+            rates=dict(rates),
+            fair_rates=dict(self.fair_rates),
+            queues=dict(self.queues),
+        )
+        self.iteration += 1
+        self.history.append(record)
+        return record
+
+    def run(self, iterations: int) -> List[RcpIterationRecord]:
+        return [self.step() for _ in range(iterations)]
+
+    def rate_history(self) -> List[Dict[FlowId, float]]:
+        return [record.rates for record in self.history]
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        return self.params.update_interval

@@ -1,0 +1,123 @@
+"""Fluid-level topology builders used by the evaluation scenarios (Sec. 6).
+
+These construct :class:`~repro.fluid.network.FluidNetwork` instances plus
+helpers to build flow paths through them.  The packet-level equivalents live
+in :mod:`repro.sim.topology`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import SimulationParameters
+from repro.fluid.network import FluidNetwork, LinkId
+
+
+@dataclass(frozen=True)
+class LeafSpineFluid:
+    """A leaf-spine fabric expressed as a fluid network plus path helpers.
+
+    Links are modelled in both directions independently:
+
+    * ``("host-up", server)``    -- server NIC to its leaf switch,
+    * ``("host-down", server)``  -- leaf switch to the server NIC,
+    * ``("up", leaf, spine)``    -- leaf uplink to a spine,
+    * ``("down", spine, leaf)``  -- spine downlink to a leaf.
+    """
+
+    network: FluidNetwork
+    params: SimulationParameters
+
+    @property
+    def num_servers(self) -> int:
+        return self.params.num_servers
+
+    @property
+    def servers_per_leaf(self) -> int:
+        return self.params.num_servers // self.params.num_leaves
+
+    def leaf_of(self, server: int) -> int:
+        self._check_server(server)
+        return server // self.servers_per_leaf
+
+    def _check_server(self, server: int) -> None:
+        if not 0 <= server < self.params.num_servers:
+            raise ValueError(f"server {server} out of range 0..{self.params.num_servers - 1}")
+
+    def path(self, src: int, dst: int, spine: Optional[int] = None) -> Tuple[LinkId, ...]:
+        """Links traversed from ``src`` to ``dst`` (via ``spine`` if cross-leaf).
+
+        Same-leaf traffic only crosses the two host links.  Cross-leaf
+        traffic additionally crosses one leaf uplink and one spine downlink;
+        the spine is chosen uniformly at random when not given (ECMP).
+        """
+        self._check_server(src)
+        self._check_server(dst)
+        if src == dst:
+            raise ValueError("source and destination must differ")
+        src_leaf, dst_leaf = self.leaf_of(src), self.leaf_of(dst)
+        if src_leaf == dst_leaf:
+            return (("host-up", src), ("host-down", dst))
+        if spine is None:
+            spine = random.randrange(self.params.num_spines)
+        if not 0 <= spine < self.params.num_spines:
+            raise ValueError(f"spine {spine} out of range 0..{self.params.num_spines - 1}")
+        return (
+            ("host-up", src),
+            ("up", src_leaf, spine),
+            ("down", spine, dst_leaf),
+            ("host-down", dst),
+        )
+
+    def all_spine_paths(self, src: int, dst: int) -> List[Tuple[LinkId, ...]]:
+        """One path per spine between two cross-leaf servers (for multipath)."""
+        src_leaf, dst_leaf = self.leaf_of(src), self.leaf_of(dst)
+        if src_leaf == dst_leaf:
+            return [self.path(src, dst)]
+        return [self.path(src, dst, spine=s) for s in range(self.params.num_spines)]
+
+
+def leaf_spine(params: Optional[SimulationParameters] = None) -> LeafSpineFluid:
+    """Build the paper's leaf-spine fabric as a fluid network.
+
+    Defaults to the evaluation topology: 128 servers, 8 leaves, 4 spines,
+    10 Gbps edge links and 40 Gbps core links (full bisection bandwidth).
+    """
+    params = params or SimulationParameters()
+    if params.num_servers % params.num_leaves != 0:
+        raise ValueError("num_servers must be a multiple of num_leaves")
+    capacities = {}
+    for server in range(params.num_servers):
+        capacities[("host-up", server)] = params.edge_link_rate
+        capacities[("host-down", server)] = params.edge_link_rate
+    for leaf in range(params.num_leaves):
+        for spine in range(params.num_spines):
+            capacities[("up", leaf, spine)] = params.core_link_rate
+            capacities[("down", spine, leaf)] = params.core_link_rate
+    return LeafSpineFluid(network=FluidNetwork(capacities), params=params)
+
+
+def single_bottleneck(capacity: float = 10e9) -> FluidNetwork:
+    """A network with a single shared link (used by Fig. 9 and unit studies)."""
+    return FluidNetwork({"bottleneck": capacity})
+
+
+def two_path_pooling(
+    top_capacity: float = 5e9, middle_capacity: float = 5e9, bottom_capacity: float = 3e9
+) -> FluidNetwork:
+    """The Fig. 10 topology: two private links plus a shared middle link.
+
+    Flow 1 can split its traffic between the ``top`` link and the ``middle``
+    link; Flow 2 between the ``bottom`` link and the ``middle`` link.  The
+    middle link's capacity is the experiment's variable (5 -> 17 Gbps).
+    """
+    return FluidNetwork({"top": top_capacity, "middle": middle_capacity, "bottom": bottom_capacity})
+
+
+def parking_lot(n_hops: int = 2, capacity: float = 10e9) -> FluidNetwork:
+    """A classic parking-lot chain of ``n_hops`` links (used in unit studies)."""
+    if n_hops < 1:
+        raise ValueError("need at least one hop")
+    return FluidNetwork({f"hop{i}": capacity for i in range(n_hops)})

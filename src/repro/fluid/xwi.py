@@ -1,0 +1,162 @@
+"""Fluid (iteration-level) model of NUMFabric: xWI on top of weighted max-min.
+
+One iteration corresponds to one price-update interval of the real system
+(about two RTTs): hosts recompute weights from the latest path prices
+(Eq. (7)), Swift settles to the weighted max-min allocation for those
+weights, and every switch applies the price update of Eqs. (9)-(11).
+
+Because the allocation between price updates is always the weighted
+max-min, no link is ever oversubscribed and the utilization term only acts
+on genuinely under-utilized links -- the decoupling that lets NUMFabric move
+aggressively toward the optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import NumFabricParameters
+from repro.core.xwi import fluid_price_update
+from repro.fluid.maxmin import weighted_max_min
+from repro.fluid.network import FluidNetwork, FlowId, LinkId
+
+
+@dataclass
+class XwiIterationRecord:
+    """Snapshot of one xWI iteration."""
+
+    iteration: int
+    rates: Dict[FlowId, float]
+    prices: Dict[LinkId, float]
+    weights: Dict[FlowId, float]
+
+
+class XwiFluidSimulator:
+    """Iterates the xWI dynamical system on a :class:`FluidNetwork`.
+
+    The simulator keeps per-link prices across calls, so flow arrivals and
+    departures (mutations of the network between ``step`` calls) are handled
+    naturally: the next iteration starts from the current prices, exactly as
+    the real system would.
+
+    Multipath groups (resource pooling) are supported with the paper's
+    heuristic (Sec. 6.3): each sub-flow computes the aggregate weight from
+    its own path price and scales it by the fraction of the aggregate
+    throughput it carried in the previous iteration.
+    """
+
+    def __init__(
+        self,
+        network: FluidNetwork,
+        params: Optional[NumFabricParameters] = None,
+        initial_price: float = 0.0,
+    ):
+        self.network = network
+        self.params = params or NumFabricParameters()
+        self.prices: Dict[LinkId, float] = {link: initial_price for link in network.links}
+        self.iteration = 0
+        self.last_rates: Dict[FlowId, float] = {}
+        self.history: List[XwiIterationRecord] = []
+
+    # -- internals ---------------------------------------------------------
+
+    def _path_price(self, path) -> float:
+        return sum(self.prices.get(link, 0.0) for link in path)
+
+    def _subflow_fraction(self, group, flow_id: FlowId) -> float:
+        """Fraction of the group's aggregate rate carried by this sub-flow."""
+        members = [m for m in group.member_ids if m in self.network.flow_ids]
+        if not members:
+            return 1.0
+        aggregate = sum(self.last_rates.get(m, 0.0) for m in members)
+        if aggregate <= 0.0:
+            return 1.0 / len(members)
+        return max(self.last_rates.get(flow_id, 0.0) / aggregate, 1.0 / (10.0 * len(members)))
+
+    def _compute_weights(self) -> Dict[FlowId, float]:
+        weights: Dict[FlowId, float] = {}
+        for flow in self.network.flows:
+            price = self._path_price(flow.path)
+            cap = self.network.path_capacity(flow.flow_id)
+            if flow.group_id is not None:
+                group = self.network.group(flow.group_id)
+                aggregate_weight = group.utility.inverse_marginal_clipped(price, cap * len(group.member_ids) if group.member_ids else cap)
+                weight = aggregate_weight * self._subflow_fraction(group, flow.flow_id)
+            else:
+                weight = flow.utility.inverse_marginal_clipped(price, cap)
+            weights[flow.flow_id] = max(weight, 1e-12)
+        return weights
+
+    def _marginal_utility(self, flow, rates: Dict[FlowId, float]) -> float:
+        """Marginal utility of one more bit/s on this (sub-)flow."""
+        if flow.group_id is not None:
+            group = self.network.group(flow.group_id)
+            aggregate = sum(
+                rates.get(m, 0.0) for m in group.member_ids if m in self.network.flow_ids
+            )
+            return group.utility.marginal(aggregate)
+        return flow.utility.marginal(rates.get(flow.flow_id, 0.0))
+
+    # -- public API ---------------------------------------------------------
+
+    def step(self) -> XwiIterationRecord:
+        """Run one xWI iteration and return its snapshot."""
+        flows = self.network.flows
+        capacities = self.network.capacities
+        if not flows:
+            record = XwiIterationRecord(self.iteration, {}, dict(self.prices), {})
+            self.iteration += 1
+            return record
+
+        weights = self._compute_weights()
+        paths = {flow.flow_id: flow.path for flow in flows}
+        rates = weighted_max_min(weights, paths, capacities)
+        self.last_rates = dict(rates)
+
+        # Per-link price update.
+        load: Dict[LinkId, float] = {link: 0.0 for link in capacities}
+        min_residual: Dict[LinkId, float] = {link: math.inf for link in capacities}
+        for flow in flows:
+            rate = rates[flow.flow_id]
+            price = self._path_price(flow.path)
+            residual = (self._marginal_utility(flow, rates) - price) / len(flow.path)
+            for link in flow.path:
+                load[link] += rate
+                if residual < min_residual[link]:
+                    min_residual[link] = residual
+
+        for link, capacity in capacities.items():
+            utilization = min(load[link] / capacity, 1.0) if capacity > 0 else 0.0
+            self.prices[link] = fluid_price_update(
+                self.prices[link], min_residual[link], utilization, self.params
+            )
+
+        record = XwiIterationRecord(
+            iteration=self.iteration,
+            rates=dict(rates),
+            prices=dict(self.prices),
+            weights=weights,
+        )
+        self.iteration += 1
+        return record
+
+    def run(self, iterations: int, record_history: bool = True) -> List[XwiIterationRecord]:
+        """Run ``iterations`` steps; return (and optionally store) the records."""
+        records = []
+        for _ in range(iterations):
+            record = self.step()
+            records.append(record)
+        if record_history:
+            self.history.extend(records)
+        return records
+
+    def rate_history(self) -> List[Dict[FlowId, float]]:
+        """The sequence of per-iteration rate dictionaries recorded so far."""
+        return [record.rates for record in self.history]
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        """Wall-clock duration of one iteration (the price-update interval)."""
+        return self.params.price_update_interval

@@ -1,0 +1,39 @@
+"""Packet-level discrete-event network simulator (the ns-3 stand-in).
+
+The simulator models output-queued switches with pluggable per-port queueing
+disciplines (drop-tail FIFO, Start-Time Fair Queueing for NUMFabric, the
+pFabric priority queue, ECN-marking FIFO for DCTCP), point-to-point links
+with serialization and propagation delay, ECMP routing over leaf-spine
+fabrics, and hosts running per-flow transport protocols from
+:mod:`repro.transports`.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue, EcnQueue, PfabricQueue, StfqQueue
+from repro.sim.port import OutputPort
+from repro.sim.node import Host, Node, Switch
+from repro.sim.topology import dumbbell, leaf_spine_network, single_link_network
+from repro.sim.network import Network
+from repro.sim.flow import FlowDescriptor
+from repro.sim.monitor import FlowRateMonitor, FctTracker
+
+__all__ = [
+    "Simulator",
+    "Packet",
+    "DropTailQueue",
+    "StfqQueue",
+    "PfabricQueue",
+    "EcnQueue",
+    "OutputPort",
+    "Node",
+    "Host",
+    "Switch",
+    "Network",
+    "FlowDescriptor",
+    "FlowRateMonitor",
+    "FctTracker",
+    "leaf_spine_network",
+    "dumbbell",
+    "single_link_network",
+]

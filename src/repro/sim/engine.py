@@ -1,0 +1,127 @@
+"""The discrete-event simulation engine.
+
+A minimal but complete event loop: events are (time, sequence, callback)
+tuples in a binary heap; ties in time are broken by insertion order so the
+simulation is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class EventHandle:
+    """Handle to a scheduled event, allowing cancellation."""
+
+    __slots__ = ("time", "cancelled")
+
+    def __init__(self, time: float):
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running when its time comes."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler with a floating-point clock."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, EventHandle, Callable[..., None], tuple]] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for entry in self._queue if not entry[2].cancelled)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} (now is {self._now})")
+        handle = EventHandle(time)
+        heapq.heappush(self._queue, (time, next(self._sequence), handle, callback, args))
+        return handle
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events until the queue is empty, ``until`` is reached, or
+        ``max_events`` have been processed.
+
+        Events scheduled exactly at ``until`` are still processed; later ones
+        are left in the queue, so the simulation can be resumed.
+        """
+        processed = 0
+        while self._queue:
+            time, _, handle, callback, args = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                return
+            heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            callback(*args)
+            self._events_processed += 1
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                return
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def every(
+        self, interval: float, callback: Callable[[], None], start_delay: Optional[float] = None
+    ) -> "PeriodicTimer":
+        """Run ``callback`` every ``interval`` seconds (a periodic timer)."""
+        return PeriodicTimer(self, interval, callback, start_delay=start_delay)
+
+
+class PeriodicTimer:
+    """Repeatedly invokes a callback at a fixed interval until stopped."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        start_delay: Optional[float] = None,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.simulator = simulator
+        self.interval = interval
+        self.callback = callback
+        self._stopped = False
+        self._handle = simulator.schedule(
+            interval if start_delay is None else start_delay, self._fire
+        )
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.callback()
+        self._handle = self.simulator.schedule(self.interval, self._fire)
+
+    def stop(self) -> None:
+        """Stop the timer; the callback will not fire again."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()

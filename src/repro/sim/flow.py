@@ -1,0 +1,51 @@
+"""Flow descriptors and lifecycle records for packet-level simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.utility import LogUtility, Utility
+
+
+@dataclass
+class FlowDescriptor:
+    """Everything needed to instantiate one flow in a packet-level simulation.
+
+    ``size_bytes = None`` means a long-lived flow that never completes
+    (used by convergence experiments); finite sizes are used by the FCT and
+    dynamic-workload experiments.
+    """
+
+    flow_id: object
+    source: object
+    destination: object
+    size_bytes: Optional[int] = None
+    start_time: float = 0.0
+    utility: Utility = field(default_factory=LogUtility)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes is not None and self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive (or None for long-lived flows)")
+        if self.start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        if self.source == self.destination:
+            raise ValueError("source and destination must differ")
+
+    @property
+    def is_long_lived(self) -> bool:
+        return self.size_bytes is None
+
+
+@dataclass
+class FlowCompletion:
+    """Recorded when a finite flow finishes delivering all its bytes."""
+
+    flow_id: object
+    size_bytes: int
+    start_time: float
+    finish_time: float
+
+    @property
+    def completion_time(self) -> float:
+        return self.finish_time - self.start_time

@@ -1,0 +1,85 @@
+"""Measurement instrumentation: per-flow rate monitors and FCT tracking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.convergence import ewma_filter
+from repro.sim.flow import FlowCompletion
+
+
+class FlowRateMonitor:
+    """Tracks a flow's goodput at the receiver.
+
+    Every delivered data packet is recorded; :meth:`rate_trace` bins the
+    byte arrivals into fixed intervals and optionally smooths them with the
+    paper's 80 microsecond EWMA filter.
+    """
+
+    def __init__(self, flow_id: object):
+        self.flow_id = flow_id
+        self._arrivals: List[Tuple[float, int]] = []
+        self.bytes_received = 0
+
+    def record(self, time: float, size_bytes: int) -> None:
+        self._arrivals.append((time, size_bytes))
+        self.bytes_received += size_bytes
+
+    def rate_trace(
+        self, interval: float, ewma_time_constant: Optional[float] = None,
+        end_time: Optional[float] = None,
+    ) -> List[Tuple[float, float]]:
+        """Per-interval goodput samples ``(time, bits_per_second)``."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if not self._arrivals:
+            return []
+        start = self._arrivals[0][0]
+        stop = end_time if end_time is not None else self._arrivals[-1][0]
+        if stop <= start:
+            stop = start + interval
+        n_bins = max(1, int((stop - start) / interval) + 1)
+        bins = [0.0] * n_bins
+        for time, size in self._arrivals:
+            index = min(int((time - start) / interval), n_bins - 1)
+            bins[index] += size * 8.0
+        times = [start + (i + 1) * interval for i in range(n_bins)]
+        rates = [bits / interval for bits in bins]
+        if ewma_time_constant is not None:
+            rates = ewma_filter(times, rates, ewma_time_constant)
+        return list(zip(times, rates))
+
+    def average_rate(self, start_time: float, end_time: float) -> float:
+        """Mean goodput (bits/s) between two instants."""
+        if end_time <= start_time:
+            raise ValueError("end_time must be after start_time")
+        total_bits = sum(
+            size * 8.0 for time, size in self._arrivals if start_time <= time <= end_time
+        )
+        return total_bits / (end_time - start_time)
+
+
+@dataclass
+class FctTracker:
+    """Collects flow-completion records from finished flows."""
+
+    completions: List[FlowCompletion] = field(default_factory=list)
+
+    def record(self, completion: FlowCompletion) -> None:
+        self.completions.append(completion)
+
+    @property
+    def count(self) -> int:
+        return len(self.completions)
+
+    def completion_times(self) -> Dict[object, float]:
+        return {c.flow_id: c.completion_time for c in self.completions}
+
+    def average_rates(self) -> Dict[object, float]:
+        """Per-flow average rate: size / completion time (bits per second)."""
+        return {
+            c.flow_id: 8.0 * c.size_bytes / c.completion_time
+            for c in self.completions
+            if c.completion_time > 0
+        }

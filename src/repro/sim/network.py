@@ -1,0 +1,133 @@
+"""The Network object: topology + scheme + flows, ready to simulate.
+
+A :class:`Network` owns the simulator, the hosts and switches built by a
+topology builder (:mod:`repro.sim.topology`), and the *scheme* -- an object
+implementing :class:`repro.transports.base.TransportScheme` that provides
+the per-port queue discipline, optional switch-side controllers and the
+per-flow sender/receiver pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import SimulationParameters
+from repro.sim.engine import Simulator
+from repro.sim.flow import FlowCompletion, FlowDescriptor
+from repro.sim.monitor import FctTracker, FlowRateMonitor
+from repro.sim.node import Host, Switch
+from repro.sim.port import OutputPort
+
+
+class Network:
+    """A simulated network instance: topology, transports and measurements."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        scheme,
+        params: Optional[SimulationParameters] = None,
+    ):
+        self.simulator = simulator
+        self.scheme = scheme
+        self.params = params or SimulationParameters()
+        self.hosts: Dict[object, Host] = {}
+        self.switches: Dict[object, Switch] = {}
+        self.ports: List[OutputPort] = []
+        self.rate_monitors: Dict[object, FlowRateMonitor] = {}
+        self.fct_tracker = FctTracker()
+        self.senders: Dict[object, object] = {}
+        self.receivers: Dict[object, object] = {}
+        self.flows: Dict[object, FlowDescriptor] = {}
+
+    # -- topology construction helpers (used by repro.sim.topology) ---------
+
+    def add_host(self, name: object) -> Host:
+        if name in self.hosts:
+            raise ValueError(f"duplicate host {name!r}")
+        host = Host(name)
+        self.hosts[name] = host
+        return host
+
+    def add_switch(self, name: object) -> Switch:
+        if name in self.switches:
+            raise ValueError(f"duplicate switch {name!r}")
+        switch = Switch(name)
+        self.switches[name] = switch
+        return switch
+
+    def make_port(
+        self,
+        name: str,
+        rate_bps: float,
+        propagation_delay: float,
+        peer,
+        switch_port: bool = True,
+    ) -> OutputPort:
+        """Create a port, attach the scheme's queue/controller, and connect it.
+
+        ``switch_port=False`` is used for host uplinks, which in all schemes
+        use a simple FIFO (the host is the packet source; its "queue" is the
+        transport's own window/pacing).
+        """
+        if switch_port:
+            queue = self.scheme.make_queue(rate_bps)
+        else:
+            queue = self.scheme.make_host_queue(rate_bps)
+        port = OutputPort(self.simulator, name, rate_bps, propagation_delay, queue)
+        port.connect(peer)
+        if switch_port:
+            controller = self.scheme.make_port_controller(self, port)
+            if controller is not None:
+                port.attach_controller(controller)
+        self.ports.append(port)
+        return port
+
+    # -- flows ---------------------------------------------------------------
+
+    def add_flow(self, flow: FlowDescriptor):
+        """Create the transport endpoints for a flow and schedule its start."""
+        if flow.flow_id in self.flows:
+            raise ValueError(f"duplicate flow id {flow.flow_id!r}")
+        if flow.source not in self.hosts or flow.destination not in self.hosts:
+            raise KeyError("flow endpoints must be hosts of this network")
+        sender, receiver = self.scheme.create_connection(self, flow)
+        self.flows[flow.flow_id] = flow
+        self.senders[flow.flow_id] = sender
+        self.receivers[flow.flow_id] = receiver
+        self.hosts[flow.source].register_sender(flow.flow_id, sender)
+        self.hosts[flow.destination].register_receiver(flow.flow_id, receiver)
+        self.rate_monitors[flow.flow_id] = FlowRateMonitor(flow.flow_id)
+        delay = max(flow.start_time - self.simulator.now, 0.0)
+        self.simulator.schedule(delay, sender.start)
+        return sender
+
+    def stop_flow(self, flow_id: object) -> None:
+        """Stop a long-lived flow (it simply stops sending new packets)."""
+        sender = self.senders.get(flow_id)
+        if sender is not None and hasattr(sender, "stop"):
+            sender.stop()
+
+    def record_delivery(self, flow_id: object, time: float, size_bytes: int) -> None:
+        """Called by receivers for every delivered data packet."""
+        monitor = self.rate_monitors.get(flow_id)
+        if monitor is not None:
+            monitor.record(time, size_bytes)
+
+    def record_completion(self, completion: FlowCompletion) -> None:
+        """Called by senders when a finite flow has delivered all its bytes."""
+        self.fct_tracker.record(completion)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to ``until`` seconds."""
+        self.simulator.run(until=until)
+
+    @property
+    def access_link_rate(self) -> float:
+        return self.params.edge_link_rate
+
+    def bdp_bytes(self) -> float:
+        """Bandwidth-delay product of an access link at the baseline RTT."""
+        return self.params.edge_link_rate * self.params.baseline_rtt / 8.0

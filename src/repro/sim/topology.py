@@ -1,0 +1,145 @@
+"""Packet-level topology builders: leaf-spine, dumbbell and single-link.
+
+Every builder returns a fully wired :class:`~repro.sim.network.Network`:
+hosts with uplink ports, switches with ECMP routing tables, and the scheme's
+queue discipline and port controllers attached to every switch port.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import SimulationParameters
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+def leaf_spine_network(
+    scheme,
+    params: Optional[SimulationParameters] = None,
+    link_delay: float = 1e-6,
+) -> Network:
+    """Build the paper's leaf-spine fabric (Sec. 6): servers, leaves, spines.
+
+    Servers connect to their leaf at ``edge_link_rate``; each leaf connects
+    to every spine at ``core_link_rate`` (full bisection bandwidth).  ECMP
+    hashes each flow onto one spine.
+    """
+    params = params or SimulationParameters()
+    if params.num_servers % params.num_leaves != 0:
+        raise ValueError("num_servers must be a multiple of num_leaves")
+    servers_per_leaf = params.num_servers // params.num_leaves
+
+    network = Network(Simulator(), scheme, params)
+    leaves = [network.add_switch(("leaf", i)) for i in range(params.num_leaves)]
+    spines = [network.add_switch(("spine", i)) for i in range(params.num_spines)]
+    hosts = [network.add_host(("server", i)) for i in range(params.num_servers)]
+
+    # Server <-> leaf links.
+    leaf_to_host_ports = {}
+    for index, host in enumerate(hosts):
+        leaf = leaves[index // servers_per_leaf]
+        uplink = network.make_port(
+            f"{host.name}->({leaf.name})", params.edge_link_rate, link_delay, leaf,
+            switch_port=False,
+        )
+        host.attach_uplink(uplink)
+        downlink = network.make_port(
+            f"({leaf.name})->{host.name}", params.edge_link_rate, link_delay, host,
+        )
+        leaf.add_port(downlink)
+        leaf_to_host_ports[host.name] = downlink
+
+    # Leaf <-> spine links.
+    leaf_up_ports = {}    # (leaf index, spine index) -> port
+    spine_down_ports = {} # (spine index, leaf index) -> port
+    for li, leaf in enumerate(leaves):
+        for si, spine in enumerate(spines):
+            up = network.make_port(
+                f"({leaf.name})->({spine.name})", params.core_link_rate, link_delay, spine
+            )
+            leaf.add_port(up)
+            leaf_up_ports[(li, si)] = up
+            down = network.make_port(
+                f"({spine.name})->({leaf.name})", params.core_link_rate, link_delay, leaf
+            )
+            spine.add_port(down)
+            spine_down_ports[(si, li)] = down
+
+    # Routing tables.
+    for index, host in enumerate(hosts):
+        host_leaf = index // servers_per_leaf
+        for li, leaf in enumerate(leaves):
+            if li == host_leaf:
+                leaf.add_route(host.name, [leaf_to_host_ports[host.name]])
+            else:
+                leaf.add_route(
+                    host.name, [leaf_up_ports[(li, si)] for si in range(params.num_spines)]
+                )
+        for si, spine in enumerate(spines):
+            spine.add_route(host.name, [spine_down_ports[(si, host_leaf)]])
+
+    return network
+
+
+def dumbbell(
+    scheme,
+    num_pairs: int = 2,
+    bottleneck_rate: float = 10e9,
+    access_rate: Optional[float] = None,
+    link_delay: float = 1e-6,
+    params: Optional[SimulationParameters] = None,
+) -> Network:
+    """A dumbbell: senders -> left switch -> bottleneck -> right switch -> receivers.
+
+    The single bottleneck link makes allocation outcomes easy to reason
+    about; it is the workhorse of the unit and integration tests.
+    """
+    if num_pairs < 1:
+        raise ValueError("need at least one sender/receiver pair")
+    access_rate = access_rate if access_rate is not None else bottleneck_rate
+    params = params or SimulationParameters(
+        num_servers=2 * num_pairs, edge_link_rate=access_rate, core_link_rate=bottleneck_rate
+    )
+    network = Network(Simulator(), scheme, params)
+    left = network.add_switch("left")
+    right = network.add_switch("right")
+    senders = [network.add_host(("sender", i)) for i in range(num_pairs)]
+    receivers = [network.add_host(("receiver", i)) for i in range(num_pairs)]
+
+    for host in senders:
+        uplink = network.make_port(f"{host.name}->left", access_rate, link_delay, left,
+                                   switch_port=False)
+        host.attach_uplink(uplink)
+        downlink = network.make_port(f"left->{host.name}", access_rate, link_delay, host)
+        left.add_port(downlink)
+        left.add_route(host.name, [downlink])
+    for host in receivers:
+        uplink = network.make_port(f"{host.name}->right", access_rate, link_delay, right,
+                                   switch_port=False)
+        host.attach_uplink(uplink)
+        downlink = network.make_port(f"right->{host.name}", access_rate, link_delay, host)
+        right.add_port(downlink)
+        right.add_route(host.name, [downlink])
+
+    forward = network.make_port("left->right", bottleneck_rate, link_delay, right)
+    left.add_port(forward)
+    backward = network.make_port("right->left", bottleneck_rate, link_delay, left)
+    right.add_port(backward)
+    for host in receivers:
+        left.add_route(host.name, [forward])
+    for host in senders:
+        right.add_route(host.name, [backward])
+
+    return network
+
+
+def single_link_network(
+    scheme,
+    num_flows: int = 2,
+    link_rate: float = 10e9,
+    link_delay: float = 1e-6,
+) -> Network:
+    """A dumbbell with one sender/receiver pair per flow, sharing one bottleneck."""
+    return dumbbell(scheme, num_pairs=num_flows, bottleneck_rate=link_rate,
+                    access_rate=4 * link_rate, link_delay=link_delay)

@@ -1,0 +1,27 @@
+"""Packet-level transport protocols and their switch-side hooks.
+
+Each scheme bundles three things behind the
+:class:`~repro.transports.base.TransportScheme` interface:
+
+* the queue discipline its switches use,
+* an optional per-port controller (price / fair-rate computation),
+* the per-flow sender and receiver endpoints.
+"""
+
+from repro.transports.base import ReceiverBase, SenderBase, TransportScheme
+from repro.transports.numfabric import NumFabricScheme
+from repro.transports.dgd import DgdScheme
+from repro.transports.rcp_star import RcpStarScheme
+from repro.transports.dctcp import DctcpScheme
+from repro.transports.pfabric import PfabricScheme
+
+__all__ = [
+    "TransportScheme",
+    "SenderBase",
+    "ReceiverBase",
+    "NumFabricScheme",
+    "DgdScheme",
+    "RcpStarScheme",
+    "DctcpScheme",
+    "PfabricScheme",
+]

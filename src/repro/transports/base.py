@@ -1,0 +1,216 @@
+"""Common machinery shared by every packet-level transport.
+
+A *scheme* (one per protocol) builds queues, optional switch-side port
+controllers and per-flow connections.  ``SenderBase`` / ``ReceiverBase``
+implement the bookkeeping every protocol needs -- packetization, tracking of
+sent/acknowledged bytes, inter-packet-time measurement at the receiver, flow
+completion -- so concrete transports only implement their control laws.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+from repro.core.config import SimulationParameters
+from repro.sim.flow import FlowCompletion, FlowDescriptor
+from repro.sim.packet import Packet
+from repro.sim.port import OutputPort
+from repro.sim.queues import DropTailQueue, QueueDiscipline
+
+MTU_BYTES = 1500
+
+
+class TransportScheme(ABC):
+    """Factory bundle for one transport protocol."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def make_queue(self, link_rate: float) -> QueueDiscipline:
+        """Queue discipline used at switch output ports."""
+
+    def make_host_queue(self, link_rate: float) -> QueueDiscipline:
+        """Queue used at host uplinks (a large FIFO by default)."""
+        return DropTailQueue(capacity_bytes=10_000_000)
+
+    def make_port_controller(self, network, port: OutputPort):
+        """Switch-side per-port protocol logic; ``None`` if the scheme has none."""
+        return None
+
+    @abstractmethod
+    def create_connection(self, network, flow: FlowDescriptor) -> Tuple["SenderBase", "ReceiverBase"]:
+        """Create the (sender, receiver) endpoints of one flow."""
+
+
+class SenderBase:
+    """Window/credit bookkeeping common to all senders.
+
+    Concrete transports drive :meth:`maybe_send` from their control law
+    (ACK clocking, pacing timers, ...) after setting ``window_bytes``.
+    """
+
+    def __init__(self, network, flow: FlowDescriptor, mtu_bytes: int = MTU_BYTES):
+        self.network = network
+        self.flow = flow
+        self.simulator = network.simulator
+        self.host = network.hosts[flow.source]
+        self.mtu_bytes = mtu_bytes
+        self.window_bytes = mtu_bytes
+        self.bytes_sent = 0
+        self.bytes_acked = 0
+        self.next_sequence = 0
+        self.started = False
+        self.stopped = False
+        self.completed = False
+        self.start_time: Optional[float] = None
+        self.completion_time: Optional[float] = None
+
+    # -- size bookkeeping -----------------------------------------------------
+
+    @property
+    def flow_size(self) -> Optional[int]:
+        return self.flow.size_bytes
+
+    @property
+    def remaining_bytes(self) -> float:
+        if self.flow_size is None:
+            return float("inf")
+        return max(self.flow_size - self.bytes_sent, 0)
+
+    @property
+    def unacked_remaining_bytes(self) -> float:
+        """Bytes not yet acknowledged (pFabric's notion of remaining size)."""
+        if self.flow_size is None:
+            return float("inf")
+        return max(self.flow_size - self.bytes_acked, 0)
+
+    @property
+    def bytes_in_flight(self) -> int:
+        return max(self.bytes_sent - self.bytes_acked, 0)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin transmitting (called by the network at the flow start time)."""
+        if self.started:
+            return
+        self.started = True
+        self.start_time = self.simulator.now
+        self.on_start()
+        self.maybe_send()
+
+    def on_start(self) -> None:
+        """Hook for protocol-specific initialization (e.g. initial window)."""
+
+    def stop(self) -> None:
+        """Stop a long-lived flow: no further packets are sent."""
+        self.stopped = True
+
+    # -- transmission ------------------------------------------------------------
+
+    def can_send(self) -> bool:
+        """Whether the control law currently allows sending one more packet."""
+        return self.bytes_in_flight + self.mtu_bytes <= self.window_bytes
+
+    def next_packet_size(self) -> int:
+        if self.flow_size is None:
+            return self.mtu_bytes
+        return int(min(self.mtu_bytes, self.remaining_bytes))
+
+    def maybe_send(self) -> None:
+        """Send as many packets as the window and remaining bytes allow."""
+        if not self.started or self.stopped:
+            return
+        while self.remaining_bytes > 0 and self.can_send():
+            size = self.next_packet_size()
+            if size <= 0:
+                break
+            self.send_packet(size)
+
+    def send_packet(self, size_bytes: int) -> Packet:
+        packet = Packet(
+            flow_id=self.flow.flow_id,
+            source=self.flow.source,
+            destination=self.flow.destination,
+            size_bytes=size_bytes,
+            sequence=self.next_sequence,
+            created_at=self.simulator.now,
+        )
+        self.prepare_packet(packet)
+        self.next_sequence += 1
+        self.bytes_sent += size_bytes
+        self.host.send(packet)
+        self.on_packet_sent(packet)
+        return packet
+
+    def prepare_packet(self, packet: Packet) -> None:
+        """Hook: fill protocol-specific header fields before transmission."""
+
+    def on_packet_sent(self, packet: Packet) -> None:
+        """Hook called after a packet has been handed to the host uplink."""
+
+    # -- acknowledgment ------------------------------------------------------------
+
+    def on_ack(self, ack: Packet) -> None:
+        """Process an ACK: account bytes, run the control law, keep sending."""
+        if self.completed:
+            return
+        self.bytes_acked += ack.acked_bytes
+        self.process_ack(ack)
+        if self.flow_size is not None and self.bytes_acked >= self.flow_size:
+            self._complete()
+            return
+        self.maybe_send()
+
+    def process_ack(self, ack: Packet) -> None:
+        """Hook: protocol-specific reaction to an ACK (window/rate update)."""
+
+    def _complete(self) -> None:
+        self.completed = True
+        self.completion_time = self.simulator.now
+        self.network.record_completion(
+            FlowCompletion(
+                flow_id=self.flow.flow_id,
+                size_bytes=self.flow_size or self.bytes_acked,
+                start_time=self.start_time if self.start_time is not None else 0.0,
+                finish_time=self.simulator.now,
+            )
+        )
+        self.on_complete()
+
+    def on_complete(self) -> None:
+        """Hook called once when the flow finishes."""
+
+
+class ReceiverBase:
+    """Receives data packets, measures inter-packet times and emits ACKs."""
+
+    def __init__(self, network, flow: FlowDescriptor):
+        self.network = network
+        self.flow = flow
+        self.simulator = network.simulator
+        self.host = network.hosts[flow.destination]
+        self.bytes_received = 0
+        self.packets_received = 0
+        self._last_arrival: Optional[float] = None
+
+    def on_data(self, packet: Packet) -> None:
+        now = self.simulator.now
+        inter_packet_time = 0.0 if self._last_arrival is None else now - self._last_arrival
+        self._last_arrival = now
+        self.bytes_received += packet.size_bytes
+        self.packets_received += 1
+        self.network.record_delivery(self.flow.flow_id, now, packet.size_bytes)
+        ack = packet.make_ack(now, acked_bytes=packet.size_bytes,
+                              inter_packet_time=inter_packet_time)
+        self.prepare_ack(ack, packet)
+        self.host.send(ack)
+
+    def prepare_ack(self, ack: Packet, data_packet: Packet) -> None:
+        """Hook: add protocol-specific feedback to the ACK."""
+
+
+def bdp_bytes(params: SimulationParameters) -> float:
+    """Bandwidth-delay product of an access link (bytes)."""
+    return params.edge_link_rate * params.baseline_rtt / 8.0

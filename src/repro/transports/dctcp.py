@@ -1,0 +1,94 @@
+"""Packet-level DCTCP (used for the Figure 4(b) comparison).
+
+Switches mark ECN-capable packets when the instantaneous queue exceeds a
+threshold; the sender maintains a running estimate ``alpha`` of the fraction
+of marked packets and, once per window, reduces its congestion window by
+``alpha / 2`` if any mark was observed, otherwise increases it by one MTU
+per RTT (standard DCTCP dynamics).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.config import DctcpParameters
+from repro.sim.flow import FlowDescriptor
+from repro.sim.packet import Packet
+from repro.sim.queues import EcnQueue, QueueDiscipline
+from repro.transports.base import MTU_BYTES, ReceiverBase, SenderBase, TransportScheme
+
+
+class DctcpSender(SenderBase):
+    """Window-based DCTCP congestion control with ECN-fraction adaptation."""
+
+    def __init__(
+        self,
+        network,
+        flow: FlowDescriptor,
+        params: Optional[DctcpParameters] = None,
+        mtu_bytes: int = MTU_BYTES,
+    ):
+        super().__init__(network, flow, mtu_bytes)
+        self.params = params or DctcpParameters()
+        self.cwnd_bytes = float(self.params.initial_window_packets * mtu_bytes)
+        self.window_bytes = int(self.cwnd_bytes)
+        self.ecn_fraction = 0.0
+        self._acked_in_window = 0
+        self._marked_in_window = 0
+        self._window_start_bytes = 0
+
+    def prepare_packet(self, packet: Packet) -> None:
+        packet.ecn_capable = True
+
+    def process_ack(self, ack: Packet) -> None:
+        self._acked_in_window += ack.acked_bytes
+        if ack.ecn_echo:
+            self._marked_in_window += ack.acked_bytes
+        # One "window" of ACKs has arrived: update alpha and adjust cwnd.
+        if self._acked_in_window >= self.cwnd_bytes:
+            marked_fraction = (
+                self._marked_in_window / self._acked_in_window if self._acked_in_window else 0.0
+            )
+            gain = self.params.gain
+            self.ecn_fraction += gain * (marked_fraction - self.ecn_fraction)
+            if self._marked_in_window > 0:
+                self.cwnd_bytes *= 1.0 - self.ecn_fraction / 2.0
+            else:
+                self.cwnd_bytes += self.mtu_bytes
+            self.cwnd_bytes = max(self.cwnd_bytes, float(self.mtu_bytes))
+            self.window_bytes = int(self.cwnd_bytes)
+            self._acked_in_window = 0
+            self._marked_in_window = 0
+
+
+class DctcpReceiver(ReceiverBase):
+    """Standard receiver: the ECN echo is copied into the ACK by ``make_ack``."""
+
+
+class DctcpScheme(TransportScheme):
+    """Scheme bundle: ECN-marking FIFO switches + DCTCP hosts."""
+
+    name = "DCTCP"
+
+    def __init__(
+        self,
+        params: Optional[DctcpParameters] = None,
+        buffer_bytes: float = 1_000_000,
+        mtu_bytes: int = MTU_BYTES,
+    ):
+        self.params = params or DctcpParameters()
+        self.buffer_bytes = buffer_bytes
+        self.mtu_bytes = mtu_bytes
+
+    def make_queue(self, link_rate: float) -> QueueDiscipline:
+        return EcnQueue(
+            capacity_bytes=self.buffer_bytes,
+            marking_threshold_packets=self.params.marking_threshold_packets,
+            mtu_bytes=self.mtu_bytes,
+        )
+
+    def create_connection(self, network, flow: FlowDescriptor
+                          ) -> Tuple[DctcpSender, DctcpReceiver]:
+        sender = DctcpSender(network, flow, self.params, mtu_bytes=self.mtu_bytes)
+        receiver = DctcpReceiver(network, flow)
+        return sender, receiver

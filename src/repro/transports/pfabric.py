@@ -1,0 +1,105 @@
+"""Packet-level pFabric (the FCT-minimization baseline of Fig. 7).
+
+pFabric decouples scheduling from rate control: packets carry the flow's
+remaining size as their priority, switches keep tiny queues and always
+transmit the packet with the smallest remaining size (dropping the largest
+when full), and hosts use a minimal rate control -- start at line rate with
+a window of one BDP and rely on retransmission timeouts to recover drops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import PfabricParameters
+from repro.sim.engine import EventHandle
+from repro.sim.flow import FlowDescriptor
+from repro.sim.packet import Packet
+from repro.sim.queues import PfabricQueue, QueueDiscipline
+from repro.transports.base import MTU_BYTES, ReceiverBase, SenderBase, TransportScheme
+
+
+class PfabricSender(SenderBase):
+    """Window = one BDP, priority = remaining flow size, timeout retransmissions."""
+
+    def __init__(
+        self,
+        network,
+        flow: FlowDescriptor,
+        params: Optional[PfabricParameters] = None,
+        mtu_bytes: int = MTU_BYTES,
+    ):
+        super().__init__(network, flow, mtu_bytes)
+        self.params = params or PfabricParameters()
+        bdp = network.access_link_rate * network.params.baseline_rtt / 8.0
+        self.window_bytes = max(int(self.params.initial_window_bdp * bdp), mtu_bytes)
+        self._outstanding: Dict[int, Tuple[int, EventHandle]] = {}
+        self._acked_sequences = set()
+        self.retransmissions = 0
+
+    def prepare_packet(self, packet: Packet) -> None:
+        packet.priority = self.unacked_remaining_bytes
+
+    def on_packet_sent(self, packet: Packet) -> None:
+        handle = self.simulator.schedule(
+            self.params.retransmission_timeout, self._maybe_retransmit, packet.sequence,
+            packet.size_bytes,
+        )
+        self._outstanding[packet.sequence] = (packet.size_bytes, handle)
+
+    def process_ack(self, ack: Packet) -> None:
+        entry = self._outstanding.pop(ack.ack_sequence, None)
+        if entry is not None:
+            entry[1].cancel()
+        self._acked_sequences.add(ack.ack_sequence)
+
+    def _maybe_retransmit(self, sequence: int, size_bytes: int) -> None:
+        if self.completed or self.stopped or sequence in self._acked_sequences:
+            return
+        # The original packet was lost (dropped by a pFabric queue):
+        # retransmit it with the current remaining-size priority.  The
+        # retransmission reuses the sequence number so the receiver's ACK
+        # cancels it the same way.
+        self.retransmissions += 1
+        packet = Packet(
+            flow_id=self.flow.flow_id,
+            source=self.flow.source,
+            destination=self.flow.destination,
+            size_bytes=size_bytes,
+            sequence=sequence,
+            created_at=self.simulator.now,
+            priority=self.unacked_remaining_bytes,
+        )
+        self.host.send(packet)
+        handle = self.simulator.schedule(
+            self.params.retransmission_timeout, self._maybe_retransmit, sequence, size_bytes
+        )
+        self._outstanding[sequence] = (size_bytes, handle)
+
+    def on_complete(self) -> None:
+        for _, handle in self._outstanding.values():
+            handle.cancel()
+        self._outstanding.clear()
+
+
+class PfabricReceiver(ReceiverBase):
+    """Plain receiver; duplicate retransmitted packets are acknowledged again."""
+
+
+class PfabricScheme(TransportScheme):
+    """Scheme bundle: shallow priority queues + line-rate hosts."""
+
+    name = "pFabric"
+
+    def __init__(self, params: Optional[PfabricParameters] = None, mtu_bytes: int = MTU_BYTES):
+        self.params = params or PfabricParameters()
+        self.mtu_bytes = mtu_bytes
+
+    def make_queue(self, link_rate: float) -> QueueDiscipline:
+        return PfabricQueue(capacity_packets=self.params.queue_capacity_packets)
+
+    def create_connection(self, network, flow: FlowDescriptor
+                          ) -> Tuple[PfabricSender, PfabricReceiver]:
+        sender = PfabricSender(network, flow, self.params, mtu_bytes=self.mtu_bytes)
+        receiver = PfabricReceiver(network, flow)
+        return sender, receiver

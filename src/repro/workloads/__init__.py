@@ -1,0 +1,28 @@
+"""Workload generators: flow-size distributions and traffic scenarios."""
+
+from repro.workloads.distributions import (
+    EmpiricalFlowSizeDistribution,
+    FlowSizeDistribution,
+    ParetoFlowSizeDistribution,
+    UniformFlowSizeDistribution,
+    enterprise_distribution,
+    web_search_distribution,
+)
+from repro.workloads.poisson import FlowArrival, PoissonTrafficGenerator
+from repro.workloads.semidynamic import NetworkEvent, SemiDynamicScenario
+from repro.workloads.permutation import PermutationTraffic, permutation_pairs
+
+__all__ = [
+    "FlowSizeDistribution",
+    "EmpiricalFlowSizeDistribution",
+    "ParetoFlowSizeDistribution",
+    "UniformFlowSizeDistribution",
+    "web_search_distribution",
+    "enterprise_distribution",
+    "FlowArrival",
+    "PoissonTrafficGenerator",
+    "NetworkEvent",
+    "SemiDynamicScenario",
+    "PermutationTraffic",
+    "permutation_pairs",
+]

@@ -1,0 +1,72 @@
+"""Permutation traffic with multipath sub-flows (Sec. 6.3, resource pooling).
+
+Following the MPTCP evaluation the paper replicates: servers 1..N/2 each
+send to exactly one server in N/2+1..N, and every source-destination pair is
+split into ``k`` sub-flows, each hashed onto a random spine path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SubflowSpec:
+    """One sub-flow of a permutation pair: a (source, destination, spine) triple."""
+
+    pair_id: int
+    subflow_index: int
+    source: int
+    destination: int
+    spine: int
+
+
+def permutation_pairs(num_servers: int, seed: Optional[int] = None) -> List[Tuple[int, int]]:
+    """Pair each server in the first half with a unique server in the second half."""
+    if num_servers < 2 or num_servers % 2 != 0:
+        raise ValueError("num_servers must be an even number >= 2")
+    rng = random.Random(seed)
+    senders = list(range(num_servers // 2))
+    receivers = list(range(num_servers // 2, num_servers))
+    rng.shuffle(receivers)
+    return list(zip(senders, receivers))
+
+
+class PermutationTraffic:
+    """Builds the sub-flow specifications for the resource-pooling experiment."""
+
+    def __init__(self, num_servers: int = 128, num_spines: int = 16, seed: Optional[int] = 2):
+        if num_spines < 1:
+            raise ValueError("need at least one spine")
+        self.num_servers = num_servers
+        self.num_spines = num_spines
+        self.seed = seed
+        self.pairs = permutation_pairs(num_servers, seed=seed)
+        self._rng = random.Random(None if seed is None else seed + 1)
+
+    def subflows(self, subflows_per_pair: int) -> List[SubflowSpec]:
+        """Hash ``subflows_per_pair`` sub-flows of every pair onto random spines.
+
+        As in MPTCP, sub-flows are hashed independently, so several sub-flows
+        of the same pair may collide on the same spine -- that collision (and
+        the unfairness it causes without resource pooling) is exactly what
+        the experiment studies.
+        """
+        if subflows_per_pair < 1:
+            raise ValueError("need at least one sub-flow per pair")
+        specs: List[SubflowSpec] = []
+        for pair_id, (source, destination) in enumerate(self.pairs):
+            for index in range(subflows_per_pair):
+                spine = self._rng.randrange(self.num_spines)
+                specs.append(
+                    SubflowSpec(
+                        pair_id=pair_id,
+                        subflow_index=index,
+                        source=source,
+                        destination=destination,
+                        spine=spine,
+                    )
+                )
+        return specs

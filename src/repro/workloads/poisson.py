@@ -1,0 +1,103 @@
+"""Poisson flow-arrival workload generator (Sec. 6.1, dynamic workloads).
+
+Flows arrive as a Poisson process whose rate is chosen so each server's
+access link carries the requested ``load``; sources and destinations are
+drawn uniformly at random (excluding self-traffic) and flow sizes from a
+:class:`~repro.workloads.distributions.FlowSizeDistribution`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.workloads.distributions import FlowSizeDistribution
+
+
+@dataclass(frozen=True)
+class FlowArrival:
+    """One flow arrival produced by a workload generator."""
+
+    flow_id: int
+    time: float
+    source: int
+    destination: int
+    size_bytes: int
+
+
+class PoissonTrafficGenerator:
+    """Generates Poisson flow arrivals at a target network load.
+
+    Parameters
+    ----------
+    num_servers:
+        Number of servers that can act as sources/destinations.
+    size_distribution:
+        Flow-size distribution sampled per arrival.
+    load:
+        Target utilization of each server's access link, in (0, 1).
+    link_rate:
+        Access-link rate in bits per second.
+    seed:
+        Seed for the internal random generator (reproducible workloads).
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        size_distribution: FlowSizeDistribution,
+        load: float,
+        link_rate: float = 10e9,
+        seed: Optional[int] = None,
+    ):
+        if num_servers < 2:
+            raise ValueError("need at least two servers")
+        if not 0.0 < load < 1.0:
+            raise ValueError("load must be in (0, 1)")
+        if link_rate <= 0:
+            raise ValueError("link_rate must be positive")
+        self.num_servers = num_servers
+        self.size_distribution = size_distribution
+        self.load = load
+        self.link_rate = link_rate
+        self.rng = random.Random(seed)
+
+    @property
+    def arrival_rate(self) -> float:
+        """Aggregate flow arrival rate (flows per second) across all servers."""
+        mean_size_bits = self.size_distribution.mean() * 8.0
+        per_server = self.load * self.link_rate / mean_size_bits
+        return per_server * self.num_servers
+
+    def arrivals(self, duration: Optional[float] = None, max_flows: Optional[int] = None
+                 ) -> Iterator[FlowArrival]:
+        """Yield flow arrivals until ``duration`` or ``max_flows`` is reached."""
+        if duration is None and max_flows is None:
+            raise ValueError("specify duration and/or max_flows")
+        rate = self.arrival_rate
+        time = 0.0
+        flow_id = 0
+        while True:
+            time += self.rng.expovariate(rate)
+            if duration is not None and time > duration:
+                return
+            if max_flows is not None and flow_id >= max_flows:
+                return
+            source = self.rng.randrange(self.num_servers)
+            destination = self.rng.randrange(self.num_servers - 1)
+            if destination >= source:
+                destination += 1
+            yield FlowArrival(
+                flow_id=flow_id,
+                time=time,
+                source=source,
+                destination=destination,
+                size_bytes=self.size_distribution.sample(self.rng),
+            )
+            flow_id += 1
+
+    def generate(self, duration: Optional[float] = None, max_flows: Optional[int] = None
+                 ) -> List[FlowArrival]:
+        """Materialize :meth:`arrivals` into a list."""
+        return list(self.arrivals(duration=duration, max_flows=max_flows))

@@ -1,0 +1,127 @@
+"""The semi-dynamic convergence scenario (Sec. 6.1).
+
+The paper randomly pairs 1000 senders and receivers among the 128 servers to
+create 1000 candidate flow paths.  Network events then start or stop 100
+flows at a time, keeping between 300 and 500 flows active, and the
+convergence time after each event is measured against the Oracle.
+
+:class:`SemiDynamicScenario` reproduces this event sequence deterministically
+from a seed so experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class CandidatePath:
+    """One of the randomly chosen sender/receiver pairs."""
+
+    path_id: int
+    source: int
+    destination: int
+    spine: int
+
+
+@dataclass
+class NetworkEvent:
+    """One flow start/stop event of the semi-dynamic scenario."""
+
+    event_id: int
+    kind: str  # "start" or "stop"
+    path_ids: Tuple[int, ...]
+    active_after: Tuple[int, ...]
+
+
+class SemiDynamicScenario:
+    """Generates the sequence of start/stop events of the semi-dynamic scenario.
+
+    Parameters mirror the paper: 1000 candidate paths over 128 servers,
+    events of 100 flows, and an active population kept between 300 and 500.
+    """
+
+    def __init__(
+        self,
+        num_servers: int = 128,
+        num_paths: int = 1000,
+        flows_per_event: int = 100,
+        min_active: int = 300,
+        max_active: int = 500,
+        num_spines: int = 4,
+        seed: Optional[int] = 1,
+    ):
+        if num_servers < 2:
+            raise ValueError("need at least two servers")
+        if not 0 < min_active <= max_active:
+            raise ValueError("require 0 < min_active <= max_active")
+        if flows_per_event <= 0:
+            raise ValueError("flows_per_event must be positive")
+        self.num_servers = num_servers
+        self.flows_per_event = flows_per_event
+        self.min_active = min_active
+        self.max_active = max_active
+        self.rng = random.Random(seed)
+        self.paths: List[CandidatePath] = []
+        for path_id in range(num_paths):
+            source = self.rng.randrange(num_servers)
+            destination = self.rng.randrange(num_servers - 1)
+            if destination >= source:
+                destination += 1
+            spine = self.rng.randrange(num_spines)
+            self.paths.append(CandidatePath(path_id, source, destination, spine))
+        self.active: Set[int] = set()
+        self._event_count = 0
+
+    def path(self, path_id: int) -> CandidatePath:
+        return self.paths[path_id]
+
+    def initialize(self, initial_active: Optional[int] = None) -> List[int]:
+        """Activate an initial random set of flows (default: midway point)."""
+        target = initial_active if initial_active is not None else (
+            (self.min_active + self.max_active) // 2
+        )
+        if target > len(self.paths):
+            raise ValueError("cannot activate more flows than candidate paths")
+        self.active = set(self.rng.sample(range(len(self.paths)), target))
+        return sorted(self.active)
+
+    def next_event(self) -> NetworkEvent:
+        """Generate the next start/stop event, respecting the active bounds."""
+        if not self.active:
+            self.initialize()
+        can_start = len(self.active) + self.flows_per_event <= self.max_active
+        can_stop = len(self.active) - self.flows_per_event >= self.min_active
+        if can_start and can_stop:
+            kind = self.rng.choice(["start", "stop"])
+        elif can_start:
+            kind = "start"
+        elif can_stop:
+            kind = "stop"
+        else:
+            raise ValueError(
+                "flows_per_event too large for the configured active range"
+            )
+
+        if kind == "start":
+            inactive = [p for p in range(len(self.paths)) if p not in self.active]
+            chosen = tuple(self.rng.sample(inactive, self.flows_per_event))
+            self.active.update(chosen)
+        else:
+            chosen = tuple(self.rng.sample(sorted(self.active), self.flows_per_event))
+            self.active.difference_update(chosen)
+
+        event = NetworkEvent(
+            event_id=self._event_count,
+            kind=kind,
+            path_ids=chosen,
+            active_after=tuple(sorted(self.active)),
+        )
+        self._event_count += 1
+        return event
+
+    def events(self, count: int) -> List[NetworkEvent]:
+        """Generate ``count`` consecutive events."""
+        return [self.next_event() for _ in range(count)]

@@ -1,0 +1,124 @@
+"""Tests for the analysis helpers: stats, convergence, deviation and FCT."""
+
+import math
+
+import pytest
+
+from repro.analysis.convergence import ewma_filter, filter_rise_time, measure_convergence_time
+from repro.analysis.deviation import bin_by_bdp, normalized_deviation
+from repro.analysis.fct import FctRecord, ideal_fct, normalized_fct, summarize_fcts
+from repro.analysis.stats import BoxStats, cdf_points, percentile, summarize
+
+
+class TestStats:
+    def test_percentile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_cdf_points(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(1 / 3)), (2.0, pytest.approx(2 / 3)), (3.0, 1.0)]
+
+    def test_box_stats(self):
+        stats = BoxStats.from_values(list(range(1, 101)) + [1000.0])
+        assert stats.median == pytest.approx(51.0)
+        assert stats.whisker_high < 1000.0  # the outlier is excluded
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["count"] == 3
+
+
+class TestEwmaFilter:
+    def test_step_response(self):
+        times = [i * 1e-5 for i in range(200)]
+        values = [0.0] * 10 + [1.0] * 190
+        filtered = ewma_filter(times, values, time_constant=80e-6)
+        assert filtered[-1] == pytest.approx(1.0, abs=1e-3)
+        assert filtered[11] < 0.5  # the filter lags the step
+
+    def test_rise_time_matches_paper(self):
+        """The paper subtracts ~185 us for an 80 us filter reaching 90%."""
+        assert filter_rise_time(80e-6, 0.9) == pytest.approx(184e-6, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ewma_filter([0.0], [1.0, 2.0], 1.0)
+        with pytest.raises(ValueError):
+            ewma_filter([0.0], [1.0], 0.0)
+
+
+class TestMeasureConvergenceTime:
+    def test_simple_step_trace(self):
+        traces = {
+            "a": [(0.0, 0.0), (1e-3, 0.5), (2e-3, 1.0), (3e-3, 1.0), (4e-3, 1.0)],
+        }
+        time = measure_convergence_time(traces, {"a": 1.0}, start_time=0.0)
+        assert time == pytest.approx(2e-3)
+
+    def test_never_converges(self):
+        traces = {"a": [(0.0, 0.0), (1e-3, 0.1)]}
+        assert measure_convergence_time(traces, {"a": 1.0}, start_time=0.0) is None
+
+    def test_hold_time_requirement(self):
+        traces = {"a": [(1e-3, 1.0), (2e-3, 0.0), (3e-3, 1.0), (4e-3, 1.0), (5e-3, 1.0)]}
+        time = measure_convergence_time(traces, {"a": 1.0}, start_time=0.0, hold_time=1.5e-3)
+        assert time == pytest.approx(3e-3)
+
+
+class TestDeviation:
+    def test_normalized_deviation(self):
+        assert normalized_deviation(2.0, 1.0) == pytest.approx(1.0)
+        assert normalized_deviation(0.5, 1.0) == pytest.approx(-0.5)
+        with pytest.raises(ValueError):
+            normalized_deviation(1.0, 0.0)
+
+    def test_bin_by_bdp(self):
+        bdp = 1000.0
+        sizes = {"tiny": 500.0, "small": 7_000.0, "large": 500_000.0}
+        deviations = {"tiny": 0.1, "small": -0.2, "large": 0.0}
+        bins = bin_by_bdp(sizes, deviations, bdp)
+        assert bins[0].stats.count == 1  # (0-5) BDP
+        assert bins[1].stats.count == 1  # (5-10)
+        assert bins[3].stats.count == 1  # (100-1K)
+        assert bins[4].stats is None
+
+    def test_bin_labels(self):
+        bins = bin_by_bdp({}, {}, 1000.0)
+        assert [b.label for b in bins] == ["(0-5)", "(5-10)", "(10-100)", "(100-1K)", "(1K-10K)"]
+
+
+class TestFct:
+    def test_ideal_fct(self):
+        assert ideal_fct(1_000_000, 1e9, 10e-6) == pytest.approx(8e-3 + 10e-6)
+
+    def test_normalized_fct(self):
+        assert normalized_fct(16e-3, 1_000_000, 1e9, 0.0) == pytest.approx(2.0)
+
+    def test_summarize_fcts(self):
+        records = [
+            FctRecord("a", 1_000_000, 0.0, 16e-3),
+            FctRecord("b", 1_000_000, 0.0, 8e-3),
+        ]
+        summary = summarize_fcts(records, 1e9, 0.0)
+        assert summary.count == 2
+        assert summary.mean_normalized_fct == pytest.approx(1.5)
+
+    def test_summarize_size_filter(self):
+        records = [FctRecord("a", 10_000, 0.0, 1e-3), FctRecord("b", 10_000_000, 0.0, 0.1)]
+        small = summarize_fcts(records, 1e9, 0.0, size_range=(0, 1_000_000))
+        assert small.count == 1
+
+    def test_empty_summary(self):
+        summary = summarize_fcts([], 1e9, 0.0)
+        assert summary.count == 0
+        assert math.isnan(summary.mean_normalized_fct)

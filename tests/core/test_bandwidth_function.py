@@ -1,0 +1,123 @@
+"""Unit tests for bandwidth functions and their water-filling allocations."""
+
+import pytest
+
+from repro.core.bandwidth_function import (
+    PiecewiseLinearBandwidthFunction,
+    fig2_flow1,
+    fig2_flow2,
+    max_min_fair_shares,
+    single_link_allocation,
+)
+
+
+class TestPiecewiseLinearBandwidthFunction:
+    def test_evaluation_on_segments(self):
+        bwf = PiecewiseLinearBandwidthFunction([(0, 0), (2, 10), (4, 20)])
+        assert bwf(0.0) == 0.0
+        assert bwf(1.0) == pytest.approx(5.0)
+        assert bwf(3.0) == pytest.approx(15.0)
+
+    def test_plateau_beyond_last_breakpoint(self):
+        bwf = PiecewiseLinearBandwidthFunction([(0, 0), (2, 10)])
+        assert bwf(100.0) == 10.0
+
+    def test_inverse_roundtrip(self):
+        bwf = fig2_flow1()
+        for fair_share in [0.5, 1.0, 2.2, 3.0]:
+            assert bwf.inverse(bwf(fair_share)) == pytest.approx(fair_share, rel=1e-9)
+
+    def test_inverse_of_flat_prefix(self):
+        """Flow 2 gets nothing until fair share 2; its inverse skips the flat part."""
+        bwf = fig2_flow2()
+        assert bwf.inverse(5e9) == pytest.approx(2.25)
+        assert bwf.inverse(0.0) == 0.0
+
+    def test_non_decreasing_required(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearBandwidthFunction([(0, 10), (1, 5)])
+
+    def test_strictly_increasing_fair_shares_required(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearBandwidthFunction([(0, 0), (0, 5)])
+
+    def test_first_breakpoint_must_be_zero(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearBandwidthFunction([(1, 0), (2, 5)])
+
+    def test_needs_two_breakpoints(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearBandwidthFunction([(0, 0)])
+
+    def test_integral_inverse_power_zero_rate(self):
+        assert fig2_flow1().integral_inverse_power(0.0, 5.0) == 0.0
+
+    def test_integral_inverse_power_monotone(self):
+        bwf = fig2_flow1()
+        values = [bwf.integral_inverse_power(rate, 5.0) for rate in [1e9, 5e9, 10e9, 14e9]]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+
+class TestSingleLinkAllocation:
+    """The Figure 2 example: two flows on a 10 Gbps and a 25 Gbps link."""
+
+    def test_figure2_at_10gbps(self):
+        fair_share, allocation = single_link_allocation([fig2_flow1(), fig2_flow2()], 10e9)
+        assert fair_share == pytest.approx(2.0, rel=1e-6)
+        assert allocation[0] == pytest.approx(10e9, rel=1e-6)
+        assert allocation[1] == pytest.approx(0.0, abs=1e3)
+
+    def test_figure2_at_25gbps(self):
+        fair_share, allocation = single_link_allocation([fig2_flow1(), fig2_flow2()], 25e9)
+        assert fair_share == pytest.approx(2.5, rel=1e-6)
+        assert allocation[0] == pytest.approx(15e9, rel=1e-6)
+        assert allocation[1] == pytest.approx(10e9, rel=1e-6)
+
+    def test_capacity_exceeding_demand(self):
+        fair_share, allocation = single_link_allocation([fig2_flow1(), fig2_flow2()], 100e9)
+        assert allocation[0] == pytest.approx(fig2_flow1().max_bandwidth)
+        assert allocation[1] == pytest.approx(fig2_flow2().max_bandwidth)
+        assert fair_share == pytest.approx(4.5)
+
+    def test_never_oversubscribes(self):
+        for capacity in [1e9, 5e9, 12e9, 20e9, 33e9]:
+            _, allocation = single_link_allocation([fig2_flow1(), fig2_flow2()], capacity)
+            assert sum(allocation) <= capacity * (1 + 1e-6)
+
+    def test_empty_flow_list(self):
+        fair_share, allocation = single_link_allocation([], 10e9)
+        assert fair_share == 0.0
+        assert allocation == []
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            single_link_allocation([fig2_flow1()], -1.0)
+
+
+class TestMaxMinFairShares:
+    def test_single_link_matches_water_filling(self):
+        bwfs = [fig2_flow1(), fig2_flow2()]
+        paths = [("l",), ("l",)]
+        fair_shares, allocations = max_min_fair_shares(bwfs, paths, {"l": 25e9})
+        assert allocations[0] == pytest.approx(15e9, rel=1e-4)
+        assert allocations[1] == pytest.approx(10e9, rel=1e-4)
+
+    def test_figure10_topology_before_capacity_change(self):
+        """Flow 1 on links (top, middle), flow 2 on (middle, bottom); middle is 5 Gbps."""
+        bwfs = [fig2_flow1(), fig2_flow2()]
+        paths = [("top", "middle"), ("middle", "bottom")]
+        capacities = {"top": 5e9, "middle": 5e9, "bottom": 3e9}
+        _, allocations = max_min_fair_shares(bwfs, paths, capacities)
+        # Flow 1 has strict priority on the shared 5 Gbps middle link.
+        assert allocations[0] == pytest.approx(5e9, rel=1e-3)
+        assert allocations[1] == pytest.approx(0.0, abs=1e7)
+
+    def test_unconstrained_flows_reach_plateau(self):
+        bwfs = [fig2_flow1()]
+        paths = [("l",)]
+        _, allocations = max_min_fair_shares(bwfs, paths, {"l": 100e9})
+        assert allocations[0] == pytest.approx(fig2_flow1().max_bandwidth)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            max_min_fair_shares([fig2_flow1()], [], {"l": 1e9})

@@ -1,0 +1,78 @@
+"""Tests for the Table 2 parameter defaults."""
+
+import pytest
+
+from repro.core.config import (
+    DctcpParameters,
+    DgdParameters,
+    NumFabricParameters,
+    PfabricParameters,
+    RcpStarParameters,
+    SimulationParameters,
+    default_parameters,
+)
+
+
+class TestNumFabricParameters:
+    def test_table2_defaults(self):
+        params = NumFabricParameters()
+        assert params.ewma_time == pytest.approx(20e-6)
+        assert params.delay_slack == pytest.approx(6e-6)
+        assert params.price_update_interval == pytest.approx(30e-6)
+        assert params.eta == 5.0
+        assert params.beta == 0.5
+
+    def test_slowed_down_scales_control_loops(self):
+        params = NumFabricParameters().slowed_down(2.0)
+        assert params.ewma_time == pytest.approx(40e-6)
+        assert params.price_update_interval == pytest.approx(60e-6)
+        # Non-control-loop fields are untouched.
+        assert params.eta == 5.0
+        assert params.delay_slack == pytest.approx(6e-6)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            NumFabricParameters().eta = 10.0
+
+
+class TestDgdParameters:
+    def test_table2_defaults(self):
+        params = DgdParameters()
+        assert params.price_update_interval == pytest.approx(16e-6)
+        assert params.gain_a == pytest.approx(4e-9 / 1e6)
+        assert params.gain_b == pytest.approx(1.2e-10)
+        assert params.max_outstanding_bdp == 2.0
+
+
+class TestRcpStarParameters:
+    def test_table2_defaults(self):
+        params = RcpStarParameters()
+        assert params.rate_update_interval == pytest.approx(16e-6)
+        assert params.gain_a == pytest.approx(3.6)
+        assert params.gain_b == pytest.approx(1.8)
+
+
+class TestSimulationParameters:
+    def test_topology_defaults(self):
+        params = SimulationParameters()
+        assert params.num_servers == 128
+        assert params.num_leaves == 8
+        assert params.num_spines == 4
+        assert params.edge_link_rate == pytest.approx(10e9)
+        assert params.core_link_rate == pytest.approx(40e9)
+
+    def test_bdp_is_about_200kb(self):
+        """The paper states the BDP is 200 KB for 10 Gbps and 16 us RTT."""
+        params = SimulationParameters()
+        assert params.bandwidth_delay_product_bytes == pytest.approx(20_000, rel=0.01)
+
+
+def test_default_parameters_covers_all_schemes():
+    defaults = default_parameters()
+    assert set(defaults) == {"NUMFabric", "DGD", "RCP*", "DCTCP", "pFabric", "simulation"}
+    assert isinstance(defaults["NUMFabric"], NumFabricParameters)
+    assert isinstance(defaults["DGD"], DgdParameters)
+    assert isinstance(defaults["RCP*"], RcpStarParameters)
+    assert isinstance(defaults["DCTCP"], DctcpParameters)
+    assert isinstance(defaults["pFabric"], PfabricParameters)
+    assert isinstance(defaults["simulation"], SimulationParameters)

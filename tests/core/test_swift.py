@@ -1,0 +1,82 @@
+"""Tests for the Swift rate-control state machine."""
+
+import pytest
+
+from repro.core.config import NumFabricParameters
+from repro.core.swift import RateSample, SwiftRateControl
+
+
+class TestRateSample:
+    def test_rate_computation(self):
+        sample = RateSample(time=0.0, bytes_acked=1500, inter_packet_time=1.2e-6)
+        assert sample.rate == pytest.approx(1500 * 8 / 1.2e-6)
+
+    def test_zero_inter_packet_time(self):
+        sample = RateSample(time=0.0, bytes_acked=1500, inter_packet_time=0.0)
+        assert sample.rate == 0.0
+
+
+class TestSwiftRateControl:
+    def test_initial_window_is_burst(self):
+        control = SwiftRateControl(mtu_bytes=1500)
+        assert control.rate_estimate is None
+        assert control.window_bytes() == 3 * 1500
+
+    def test_first_sample_sets_estimate(self):
+        control = SwiftRateControl()
+        rate = control.on_ack(time=1e-6, bytes_acked=1500, inter_packet_time=1.2e-6)
+        assert rate == pytest.approx(1500 * 8 / 1.2e-6)
+
+    def test_estimate_converges_to_steady_rate(self):
+        """Feeding a constant inter-packet time converges to that rate."""
+        control = SwiftRateControl()
+        target_rate = 5e9
+        inter_packet = 1500 * 8 / target_rate
+        time = 0.0
+        for _ in range(500):
+            time += inter_packet
+            control.on_ack(time=time, bytes_acked=1500, inter_packet_time=inter_packet)
+        assert control.rate_estimate == pytest.approx(target_rate, rel=1e-3)
+
+    def test_estimate_tracks_bandwidth_change(self):
+        control = SwiftRateControl()
+        time = 0.0
+        for rate in [10e9, 2e9]:
+            inter_packet = 1500 * 8 / rate
+            for _ in range(1000):
+                time += inter_packet
+                control.on_ack(time=time, bytes_acked=1500, inter_packet_time=inter_packet)
+        assert control.rate_estimate == pytest.approx(2e9, rel=0.01)
+
+    def test_window_is_rate_times_rtt_plus_slack(self):
+        params = NumFabricParameters()
+        control = SwiftRateControl(params=params)
+        rate = 10e9
+        inter_packet = 1500 * 8 / rate
+        time = 0.0
+        for _ in range(2000):
+            time += inter_packet
+            control.on_ack(time=time, bytes_acked=1500, inter_packet_time=inter_packet)
+        expected = rate * (params.baseline_rtt + params.delay_slack) / 8
+        assert control.window_bytes() == pytest.approx(expected, rel=0.02)
+
+    def test_window_never_below_one_packet(self):
+        control = SwiftRateControl(mtu_bytes=1500)
+        control.on_ack(time=1.0, bytes_acked=1500, inter_packet_time=10.0)  # ~1.2 kbps
+        assert control.window_bytes() >= 1500
+        assert control.window_packets() >= 1
+
+    def test_zero_rate_sample_ignored(self):
+        control = SwiftRateControl()
+        control.on_ack(time=1.0, bytes_acked=1500, inter_packet_time=1e-6)
+        before = control.rate_estimate
+        control.on_ack(time=2.0, bytes_acked=1500, inter_packet_time=0.0)
+        assert control.rate_estimate == before
+
+    def test_reset_clears_state(self):
+        control = SwiftRateControl()
+        control.on_ack(time=1.0, bytes_acked=1500, inter_packet_time=1e-6)
+        control.reset()
+        assert control.rate_estimate is None
+        assert control.samples_seen == 0
+        assert control.window_bytes() == 3 * control.mtu_bytes

@@ -1,0 +1,163 @@
+"""Unit tests for the utility-function library (Table 1)."""
+
+import math
+
+import pytest
+
+from repro.core.bandwidth_function import fig2_flow1
+from repro.core.utility import (
+    AlphaFairUtility,
+    BandwidthFunctionUtility,
+    FctUtility,
+    LinearUtility,
+    LogUtility,
+    WeightedAlphaFairUtility,
+)
+
+
+class TestAlphaFairUtility:
+    def test_log_limit_at_alpha_one(self):
+        utility = AlphaFairUtility(alpha=1.0)
+        assert utility.value(math.e) == pytest.approx(1.0)
+
+    def test_value_general_alpha(self):
+        utility = AlphaFairUtility(alpha=2.0)
+        assert utility.value(4.0) == pytest.approx(4.0 ** (-1.0) / (-1.0))
+
+    def test_marginal_is_power_law(self):
+        utility = AlphaFairUtility(alpha=2.0)
+        assert utility.marginal(4.0) == pytest.approx(1.0 / 16.0)
+
+    def test_inverse_marginal_roundtrip(self):
+        utility = AlphaFairUtility(alpha=0.5)
+        for rate in [0.1, 1.0, 7.3, 1e9]:
+            assert utility.inverse_marginal(utility.marginal(rate)) == pytest.approx(rate)
+
+    def test_marginal_decreasing(self):
+        utility = AlphaFairUtility(alpha=1.5)
+        assert utility.marginal(1.0) > utility.marginal(2.0) > utility.marginal(10.0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            AlphaFairUtility(alpha=-1.0)
+
+    def test_alpha_zero_has_no_inverse_marginal(self):
+        utility = AlphaFairUtility(alpha=0.0)
+        with pytest.raises(ValueError):
+            utility.inverse_marginal(1.0)
+
+    def test_inverse_marginal_clipped(self):
+        utility = AlphaFairUtility(alpha=1.0)
+        assert utility.inverse_marginal_clipped(1e-30, max_rate=10.0) == 10.0
+        assert utility.inverse_marginal_clipped(0.0, max_rate=10.0) == 10.0
+        assert utility.inverse_marginal_clipped(1.0, max_rate=10.0) == pytest.approx(1.0)
+
+
+class TestWeightedAlphaFairUtility:
+    def test_weight_scales_inverse_marginal(self):
+        light = WeightedAlphaFairUtility(weight=1.0, alpha=1.0)
+        heavy = WeightedAlphaFairUtility(weight=4.0, alpha=1.0)
+        price = 2.0
+        assert heavy.inverse_marginal(price) == pytest.approx(4.0 * light.inverse_marginal(price))
+
+    def test_roundtrip(self):
+        utility = WeightedAlphaFairUtility(weight=3.0, alpha=2.0)
+        for rate in [0.5, 2.0, 100.0]:
+            assert utility.inverse_marginal(utility.marginal(rate)) == pytest.approx(rate)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WeightedAlphaFairUtility(weight=0.0, alpha=1.0)
+        with pytest.raises(ValueError):
+            WeightedAlphaFairUtility(weight=1.0, alpha=0.0)
+
+
+class TestLogUtility:
+    def test_matches_weighted_alpha_one(self):
+        log_u = LogUtility(weight=2.0)
+        waf = WeightedAlphaFairUtility(weight=2.0, alpha=1.0)
+        for rate in [0.25, 1.0, 9.0]:
+            assert log_u.marginal(rate) == pytest.approx(waf.marginal(rate))
+
+    def test_inverse_marginal(self):
+        assert LogUtility(weight=5.0).inverse_marginal(2.5) == pytest.approx(2.0)
+
+
+class TestLinearUtility:
+    def test_value_and_marginal(self):
+        utility = LinearUtility(weight=3.0)
+        assert utility.value(2.0) == pytest.approx(6.0)
+        assert utility.marginal(123.0) == pytest.approx(3.0)
+
+    def test_inverse_marginal_undefined(self):
+        with pytest.raises(ValueError):
+            LinearUtility(weight=1.0).inverse_marginal(1.0)
+
+
+class TestFctUtility:
+    def test_smaller_flows_have_larger_marginal(self):
+        """The FCT utility prioritizes short flows (Shortest-Flow-First)."""
+        short = FctUtility(flow_size=10e3)
+        long = FctUtility(flow_size=10e6)
+        rate = 1e9
+        assert short.marginal(rate) > long.marginal(rate)
+
+    def test_roundtrip(self):
+        utility = FctUtility(flow_size=1e6, epsilon=0.125)
+        for rate in [1e6, 1e9, 5e9]:
+            assert utility.inverse_marginal(utility.marginal(rate)) == pytest.approx(rate, rel=1e-6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FctUtility(flow_size=0.0)
+        with pytest.raises(ValueError):
+            FctUtility(flow_size=1.0, epsilon=1.5)
+
+
+class TestBandwidthFunctionUtility:
+    def test_marginal_matches_inverse_bandwidth_function(self):
+        bwf = fig2_flow1()
+        utility = BandwidthFunctionUtility(bwf, alpha=5.0)
+        rate = 5e9  # halfway up the first segment -> fair share 1.0
+        assert utility.marginal(rate) == pytest.approx(1.0, rel=1e-6)
+
+    def test_inverse_marginal_roundtrip(self):
+        bwf = fig2_flow1()
+        utility = BandwidthFunctionUtility(bwf, alpha=5.0)
+        for rate in [1e9, 5e9, 12e9]:
+            assert utility.inverse_marginal(utility.marginal(rate)) == pytest.approx(rate, rel=1e-6)
+
+    def test_value_is_increasing(self):
+        utility = BandwidthFunctionUtility(fig2_flow1(), alpha=5.0)
+        values = [utility.value(rate) for rate in [1e9, 2e9, 5e9, 10e9]]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            BandwidthFunctionUtility(fig2_flow1(), alpha=0.0)
+
+
+class TestConcavityInvariants:
+    """All utilities must be increasing and concave (decreasing marginal)."""
+
+    utilities = [
+        AlphaFairUtility(alpha=0.5),
+        AlphaFairUtility(alpha=1.0),
+        AlphaFairUtility(alpha=2.0),
+        WeightedAlphaFairUtility(weight=2.0, alpha=1.0),
+        LogUtility(weight=3.0),
+        FctUtility(flow_size=1e6),
+        BandwidthFunctionUtility(fig2_flow1(), alpha=5.0),
+    ]
+
+    @pytest.mark.parametrize("utility", utilities, ids=lambda u: repr(u))
+    def test_value_increasing(self, utility):
+        rates = [1e6, 1e7, 1e8, 1e9, 5e9]
+        values = [utility.value(r) for r in rates]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("utility", utilities, ids=lambda u: repr(u))
+    def test_marginal_nonincreasing(self, utility):
+        rates = [1e6, 1e7, 1e8, 1e9, 5e9]
+        marginals = [utility.marginal(r) for r in rates]
+        assert all(b <= a + 1e-12 for a, b in zip(marginals, marginals[1:]))

@@ -1,0 +1,101 @@
+"""Tests for the convergence-time measurement utilities."""
+
+import pytest
+
+from repro.fluid.convergence import (
+    ConvergenceCriterion,
+    convergence_iterations,
+    fraction_converged,
+    iterations_to_seconds,
+    per_flow_convergence,
+    rates_over_time,
+)
+
+
+class TestConvergenceCriterion:
+    def test_defaults_match_paper(self):
+        criterion = ConvergenceCriterion()
+        assert criterion.flow_fraction == 0.95
+        assert criterion.rate_tolerance == 0.10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvergenceCriterion(flow_fraction=0.0)
+        with pytest.raises(ValueError):
+            ConvergenceCriterion(rate_tolerance=0.0)
+        with pytest.raises(ValueError):
+            ConvergenceCriterion(hold_iterations=0)
+
+
+class TestFractionConverged:
+    def test_all_within_tolerance(self):
+        assert fraction_converged({"a": 1.05, "b": 0.95}, {"a": 1.0, "b": 1.0}, 0.1) == 1.0
+
+    def test_half_within_tolerance(self):
+        assert fraction_converged({"a": 1.05, "b": 2.0}, {"a": 1.0, "b": 1.0}, 0.1) == 0.5
+
+    def test_missing_flow_counts_as_unconverged(self):
+        assert fraction_converged({}, {"a": 1.0}, 0.1) == 0.0
+
+    def test_zero_optimal_rate(self):
+        assert fraction_converged({"a": 0.0}, {"a": 0.0}, 0.1) == 1.0
+
+    def test_empty_optimal(self):
+        assert fraction_converged({"a": 1.0}, {}, 0.1) == 1.0
+
+
+class TestConvergenceIterations:
+    def test_simple_history(self):
+        optimal = {"a": 1.0}
+        history = [{"a": 0.1}, {"a": 0.5}, {"a": 0.95}, {"a": 1.0}]
+        assert convergence_iterations(history, optimal) == 2
+
+    def test_hold_requirement(self):
+        optimal = {"a": 1.0}
+        history = [{"a": 1.0}, {"a": 0.2}, {"a": 1.0}, {"a": 1.0}, {"a": 1.0}]
+        criterion = ConvergenceCriterion(hold_iterations=3)
+        assert convergence_iterations(history, optimal, criterion) == 2
+
+    def test_never_converges(self):
+        optimal = {"a": 1.0}
+        history = [{"a": 0.1}] * 10
+        assert convergence_iterations(history, optimal) is None
+
+    def test_fraction_threshold(self):
+        optimal = {"a": 1.0, "b": 1.0, "c": 1.0}
+        # Two of three flows converge -> 66% < 95%.
+        history = [{"a": 1.0, "b": 1.0, "c": 0.0}] * 5
+        assert convergence_iterations(history, optimal) is None
+        criterion = ConvergenceCriterion(flow_fraction=0.6)
+        assert convergence_iterations(history, optimal, criterion) == 0
+
+
+class TestHelpers:
+    def test_iterations_to_seconds(self):
+        assert iterations_to_seconds(10, 30e-6) == pytest.approx(300e-6)
+        assert iterations_to_seconds(None, 30e-6) is None
+
+    def test_per_flow_convergence(self):
+        optimal = {"a": 1.0, "b": 2.0}
+        history = [
+            {"a": 0.0, "b": 0.0},
+            {"a": 1.0, "b": 0.0},
+            {"a": 1.0, "b": 2.0},
+        ]
+        result = per_flow_convergence(history, optimal)
+        assert result["a"] == 1
+        assert result["b"] == 2
+
+    def test_per_flow_convergence_requires_staying_converged(self):
+        optimal = {"a": 1.0}
+        history = [{"a": 1.0}, {"a": 5.0}, {"a": 1.0}]
+        assert per_flow_convergence(history, optimal)["a"] == 2
+
+    def test_per_flow_never_converged(self):
+        optimal = {"a": 1.0}
+        history = [{"a": 5.0}, {"a": 5.0}]
+        assert per_flow_convergence(history, optimal)["a"] is None
+
+    def test_rates_over_time(self):
+        history = [{"a": 1.0}, {"a": 2.0}, {}]
+        assert rates_over_time(history, "a") == [1.0, 2.0, 0.0]

@@ -1,0 +1,105 @@
+"""Tests for weighted max-min water-filling."""
+
+import pytest
+
+from repro.fluid.maxmin import bottleneck_links, max_min, weighted_max_min
+
+
+class TestWeightedMaxMinSingleLink:
+    def test_equal_weights_split_equally(self):
+        rates = weighted_max_min(
+            weights={"a": 1.0, "b": 1.0}, paths={"a": ["l"], "b": ["l"]}, capacities={"l": 10.0}
+        )
+        assert rates["a"] == pytest.approx(5.0)
+        assert rates["b"] == pytest.approx(5.0)
+
+    def test_rates_proportional_to_weights(self):
+        rates = weighted_max_min(
+            weights={"a": 1.0, "b": 3.0}, paths={"a": ["l"], "b": ["l"]}, capacities={"l": 8.0}
+        )
+        assert rates["a"] == pytest.approx(2.0)
+        assert rates["b"] == pytest.approx(6.0)
+
+    def test_single_flow_gets_full_link(self):
+        rates = weighted_max_min({"a": 0.1}, {"a": ["l"]}, {"l": 42.0})
+        assert rates["a"] == pytest.approx(42.0)
+
+
+class TestWeightedMaxMinMultiLink:
+    def test_parking_lot(self):
+        """Classic parking-lot: one long flow over two links, two short one-hop flows."""
+        paths = {"long": ["l1", "l2"], "short1": ["l1"], "short2": ["l2"]}
+        weights = {flow: 1.0 for flow in paths}
+        rates = weighted_max_min(weights, paths, {"l1": 10.0, "l2": 10.0})
+        assert rates["long"] == pytest.approx(5.0)
+        assert rates["short1"] == pytest.approx(5.0)
+        assert rates["short2"] == pytest.approx(5.0)
+
+    def test_bottleneck_shifts_with_capacity(self):
+        paths = {"long": ["l1", "l2"], "short1": ["l1"], "short2": ["l2"]}
+        weights = {flow: 1.0 for flow in paths}
+        rates = weighted_max_min(weights, paths, {"l1": 10.0, "l2": 4.0})
+        # l2 is the tighter bottleneck: long and short2 get 2 each; short1 takes the rest of l1.
+        assert rates["long"] == pytest.approx(2.0)
+        assert rates["short2"] == pytest.approx(2.0)
+        assert rates["short1"] == pytest.approx(8.0)
+
+    def test_unbottlenecked_flow_gets_leftover(self):
+        paths = {"a": ["l1"], "b": ["l1", "l2"]}
+        weights = {"a": 1.0, "b": 1.0}
+        rates = weighted_max_min(weights, paths, {"l1": 10.0, "l2": 2.0})
+        assert rates["b"] == pytest.approx(2.0)
+        assert rates["a"] == pytest.approx(8.0)
+
+    def test_no_link_oversubscribed(self):
+        paths = {
+            "f1": ["a", "b"],
+            "f2": ["b", "c"],
+            "f3": ["a", "c"],
+            "f4": ["a"],
+            "f5": ["c"],
+        }
+        weights = {"f1": 1.0, "f2": 2.0, "f3": 0.5, "f4": 4.0, "f5": 1.0}
+        capacities = {"a": 7.0, "b": 3.0, "c": 5.0}
+        rates = weighted_max_min(weights, paths, capacities)
+        load = {link: 0.0 for link in capacities}
+        for flow, rate in rates.items():
+            for link in paths[flow]:
+                load[link] += rate
+        for link in capacities:
+            assert load[link] <= capacities[link] * (1 + 1e-9)
+
+    def test_work_conserving(self):
+        """Every flow is bottlenecked somewhere: each path has a saturated link."""
+        paths = {"f1": ["a", "b"], "f2": ["b"], "f3": ["a"]}
+        weights = {"f1": 1.0, "f2": 1.0, "f3": 1.0}
+        capacities = {"a": 6.0, "b": 4.0}
+        rates = weighted_max_min(weights, paths, capacities)
+        saturated = bottleneck_links(rates, paths, capacities)
+        for flow, path in paths.items():
+            assert any(saturated[link] for link in path), f"{flow} has no bottleneck"
+
+
+class TestValidation:
+    def test_empty_input(self):
+        assert weighted_max_min({}, {}, {"l": 1.0}) == {}
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_max_min({"a": 0.0}, {"a": ["l"]}, {"l": 1.0})
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(KeyError):
+            weighted_max_min({"a": 1.0}, {"a": ["nope"]}, {"l": 1.0})
+
+    def test_mismatched_flow_sets_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_max_min({"a": 1.0}, {"b": ["l"]}, {"l": 1.0})
+
+
+class TestMaxMin:
+    def test_plain_max_min_is_equal_weights(self):
+        paths = {"a": ["l"], "b": ["l"], "c": ["l"]}
+        assert max_min(paths, {"l": 9.0}) == pytest.approx(
+            weighted_max_min({f: 1.0 for f in paths}, paths, {"l": 9.0})
+        )

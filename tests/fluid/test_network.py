@@ -1,0 +1,109 @@
+"""Tests for the fluid network description."""
+
+import pytest
+
+from repro.core.utility import LogUtility
+from repro.fluid.network import FlowGroup, FluidFlow, FluidNetwork
+
+
+class TestFluidNetworkConstruction:
+    def test_requires_links(self):
+        with pytest.raises(ValueError):
+            FluidNetwork({})
+
+    def test_requires_positive_capacity(self):
+        with pytest.raises(ValueError):
+            FluidNetwork({"l": 0.0})
+
+    def test_single_link_constructor(self):
+        network = FluidNetwork.single_link(10.0, 3)
+        assert len(network.flows) == 3
+        assert network.capacity("link") == 10.0
+
+
+class TestFlowManagement:
+    def test_add_and_remove_flow(self):
+        network = FluidNetwork({"l": 10.0})
+        network.add_flow(FluidFlow("f", ("l",)))
+        assert network.flow_ids == ["f"]
+        removed = network.remove_flow("f")
+        assert removed.flow_id == "f"
+        assert network.flow_ids == []
+
+    def test_duplicate_flow_rejected(self):
+        network = FluidNetwork({"l": 10.0})
+        network.add_flow(FluidFlow("f", ("l",)))
+        with pytest.raises(ValueError):
+            network.add_flow(FluidFlow("f", ("l",)))
+
+    def test_unknown_link_rejected(self):
+        network = FluidNetwork({"l": 10.0})
+        with pytest.raises(KeyError):
+            network.add_flow(FluidFlow("f", ("nope",)))
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            FluidFlow("f", ())
+
+    def test_flows_on_link(self):
+        network = FluidNetwork({"a": 1.0, "b": 1.0})
+        network.add_flow(FluidFlow("f1", ("a",)))
+        network.add_flow(FluidFlow("f2", ("a", "b")))
+        assert {f.flow_id for f in network.flows_on_link("a")} == {"f1", "f2"}
+        assert {f.flow_id for f in network.flows_on_link("b")} == {"f2"}
+
+    def test_path_capacity_is_min_along_path(self):
+        network = FluidNetwork({"a": 10.0, "b": 3.0})
+        network.add_flow(FluidFlow("f", ("a", "b")))
+        assert network.path_capacity("f") == 3.0
+
+
+class TestGroups:
+    def test_group_membership_tracks_add_remove(self):
+        network = FluidNetwork({"a": 1.0, "b": 1.0})
+        network.add_group(FlowGroup("g", LogUtility()))
+        network.add_flow(FluidFlow("s1", ("a",), group_id="g"))
+        network.add_flow(FluidFlow("s2", ("b",), group_id="g"))
+        assert set(network.group("g").member_ids) == {"s1", "s2"}
+        network.remove_flow("s1")
+        assert set(network.group("g").member_ids) == {"s2"}
+
+    def test_duplicate_group_rejected(self):
+        network = FluidNetwork({"a": 1.0})
+        network.add_group(FlowGroup("g", LogUtility()))
+        with pytest.raises(ValueError):
+            network.add_group(FlowGroup("g", LogUtility()))
+
+
+class TestCapacitiesAndLoads:
+    def test_set_capacity(self):
+        network = FluidNetwork({"l": 5.0})
+        network.set_capacity("l", 17.0)
+        assert network.capacity("l") == 17.0
+
+    def test_set_capacity_validates(self):
+        network = FluidNetwork({"l": 5.0})
+        with pytest.raises(KeyError):
+            network.set_capacity("other", 1.0)
+        with pytest.raises(ValueError):
+            network.set_capacity("l", -1.0)
+
+    def test_link_load_and_feasibility(self):
+        network = FluidNetwork({"a": 10.0, "b": 10.0})
+        network.add_flow(FluidFlow("f1", ("a", "b")))
+        network.add_flow(FluidFlow("f2", ("a",)))
+        load = network.link_load({"f1": 4.0, "f2": 5.0})
+        assert load == {"a": 9.0, "b": 4.0}
+        assert network.is_feasible({"f1": 4.0, "f2": 5.0})
+        assert not network.is_feasible({"f1": 9.0, "f2": 5.0})
+
+    def test_total_utility_with_groups(self):
+        network = FluidNetwork({"a": 10.0, "b": 10.0})
+        network.add_group(FlowGroup("g", LogUtility()))
+        network.add_flow(FluidFlow("s1", ("a",), group_id="g"))
+        network.add_flow(FluidFlow("s2", ("b",), group_id="g"))
+        network.add_flow(FluidFlow("solo", ("a",), LogUtility()))
+        total = network.total_utility({"s1": 1.0, "s2": 1.0, "solo": 2.0})
+        import math
+
+        assert total == pytest.approx(math.log(2.0) + math.log(2.0))

@@ -1,0 +1,160 @@
+"""Tests for the NUM Oracle (ground-truth solver)."""
+
+import pytest
+
+from repro.core.utility import AlphaFairUtility, FctUtility, LogUtility, WeightedAlphaFairUtility
+from repro.fluid.network import FlowGroup, FluidFlow, FluidNetwork
+from repro.fluid.oracle import (
+    alpha_fair_single_link,
+    proportional_fair_single_link,
+    solve_num,
+    solve_num_multipath,
+)
+
+
+class TestSolveNumSingleLink:
+    def test_proportional_fairness_splits_equally(self):
+        network = FluidNetwork.single_link(10e9, 4)
+        result = solve_num(network)
+        for rate in result.rates.values():
+            assert rate == pytest.approx(2.5e9, rel=1e-3)
+        assert result.converged
+
+    def test_weighted_proportional_fairness(self):
+        network = FluidNetwork({"l": 12e9})
+        network.add_flow(FluidFlow("heavy", ("l",), LogUtility(weight=2.0)))
+        network.add_flow(FluidFlow("light", ("l",), LogUtility(weight=1.0)))
+        result = solve_num(network)
+        assert result.rates["heavy"] == pytest.approx(8e9, rel=1e-3)
+        assert result.rates["light"] == pytest.approx(4e9, rel=1e-3)
+
+    def test_alpha_two_fairness_single_link_is_weighted_split(self):
+        network = FluidNetwork({"l": 10e9})
+        network.add_flow(FluidFlow("a", ("l",), WeightedAlphaFairUtility(weight=1.0, alpha=2.0)))
+        network.add_flow(FluidFlow("b", ("l",), WeightedAlphaFairUtility(weight=3.0, alpha=2.0)))
+        result = solve_num(network)
+        assert result.rates["a"] == pytest.approx(2.5e9, rel=1e-3)
+        assert result.rates["b"] == pytest.approx(7.5e9, rel=1e-3)
+
+    def test_fct_utility_prioritizes_short_flow(self):
+        network = FluidNetwork({"l": 10e9})
+        network.add_flow(FluidFlow("short", ("l",), FctUtility(flow_size=10e3)))
+        network.add_flow(FluidFlow("long", ("l",), FctUtility(flow_size=10e6)))
+        result = solve_num(network)
+        assert result.rates["short"] > result.rates["long"]
+        # With epsilon = 0.125 the rate ratio is (size ratio)^(1/eps), i.e. huge;
+        # the short flow gets essentially the whole link.
+        assert result.rates["short"] == pytest.approx(10e9, rel=0.05)
+
+    def test_single_flow_gets_capacity(self):
+        network = FluidNetwork.single_link(5e9, 1)
+        result = solve_num(network)
+        assert result.rates[0] == pytest.approx(5e9, rel=1e-3)
+
+    def test_empty_network(self):
+        network = FluidNetwork({"l": 1e9})
+        result = solve_num(network)
+        assert result.rates == {}
+        assert result.converged
+
+
+class TestSolveNumMultiLink:
+    def test_parking_lot_proportional_fairness(self):
+        """Known closed form: long flow gets C/3, each short flow gets 2C/3."""
+        network = FluidNetwork({"l1": 9e9, "l2": 9e9})
+        network.add_flow(FluidFlow("long", ("l1", "l2"), LogUtility()))
+        network.add_flow(FluidFlow("s1", ("l1",), LogUtility()))
+        network.add_flow(FluidFlow("s2", ("l2",), LogUtility()))
+        result = solve_num(network)
+        assert result.rates["long"] == pytest.approx(3e9, rel=1e-2)
+        assert result.rates["s1"] == pytest.approx(6e9, rel=1e-2)
+        assert result.rates["s2"] == pytest.approx(6e9, rel=1e-2)
+
+    def test_allocation_is_feasible(self):
+        network = FluidNetwork({"a": 10e9, "b": 3e9, "c": 7e9})
+        network.add_flow(FluidFlow(1, ("a", "b"), LogUtility()))
+        network.add_flow(FluidFlow(2, ("b", "c"), AlphaFairUtility(alpha=2.0)))
+        network.add_flow(FluidFlow(3, ("a", "c"), LogUtility(weight=2.0)))
+        network.add_flow(FluidFlow(4, ("a",), AlphaFairUtility(alpha=0.5)))
+        result = solve_num(network)
+        assert network.is_feasible(result.rates, tolerance=1e-3)
+
+    def test_prices_nonzero_only_when_constraining(self):
+        network = FluidNetwork({"tight": 1e9, "loose": 100e9})
+        network.add_flow(FluidFlow("f", ("tight", "loose"), LogUtility()))
+        result = solve_num(network)
+        assert result.prices["tight"] > 0.0
+        assert result.prices["loose"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_multipath_groups(self):
+        network = FluidNetwork({"l": 1e9})
+        network.add_group(FlowGroup("g", LogUtility()))
+        network.add_flow(FluidFlow("sub", ("l",), LogUtility(), group_id="g"))
+        with pytest.raises(ValueError):
+            solve_num(network)
+
+    def test_objective_not_worse_than_maxmin(self):
+        """The NUM optimum must dominate any feasible allocation's objective."""
+        from repro.fluid.maxmin import max_min
+
+        network = FluidNetwork({"a": 10e9, "b": 4e9})
+        network.add_flow(FluidFlow(1, ("a", "b"), LogUtility()))
+        network.add_flow(FluidFlow(2, ("a",), LogUtility()))
+        network.add_flow(FluidFlow(3, ("b",), LogUtility()))
+        result = solve_num(network)
+        maxmin_rates = max_min({f.flow_id: f.path for f in network.flows}, network.capacities)
+        assert network.total_utility(result.rates) >= network.total_utility(maxmin_rates) - 1e-6
+
+
+class TestSolveNumMultipath:
+    def test_two_path_pooling_uses_both_paths(self):
+        network = FluidNetwork({"p1": 4e9, "p2": 6e9})
+        network.add_group(FlowGroup("g", LogUtility()))
+        network.add_flow(FluidFlow("sub1", ("p1",), LogUtility(), group_id="g"))
+        network.add_flow(FluidFlow("sub2", ("p2",), LogUtility(), group_id="g"))
+        network.group("g").member_ids = ("sub1", "sub2")
+        result = solve_num_multipath(network)
+        aggregate = result.rates["sub1"] + result.rates["sub2"]
+        assert aggregate == pytest.approx(10e9, rel=1e-2)
+
+    def test_pooling_shares_common_bottleneck_fairly(self):
+        """Two groups share a middle link plus private links (Fig. 10 shape)."""
+        network = FluidNetwork({"top": 5e9, "middle": 10e9, "bottom": 5e9})
+        network.add_group(FlowGroup("g1", LogUtility()))
+        network.add_group(FlowGroup("g2", LogUtility()))
+        network.add_flow(FluidFlow("g1_top", ("top",), LogUtility(), group_id="g1"))
+        network.add_flow(FluidFlow("g1_mid", ("middle",), LogUtility(), group_id="g1"))
+        network.add_flow(FluidFlow("g2_mid", ("middle",), LogUtility(), group_id="g2"))
+        network.add_flow(FluidFlow("g2_bot", ("bottom",), LogUtility(), group_id="g2"))
+        network.group("g1").member_ids = ("g1_top", "g1_mid")
+        network.group("g2").member_ids = ("g2_mid", "g2_bot")
+        result = solve_num_multipath(network)
+        g1 = result.rates["g1_top"] + result.rates["g1_mid"]
+        g2 = result.rates["g2_mid"] + result.rates["g2_bot"]
+        # Symmetric problem: both aggregates should be equal and fill the network.
+        assert g1 == pytest.approx(g2, rel=0.02)
+        assert g1 + g2 == pytest.approx(20e9, rel=0.02)
+
+    def test_feasibility(self):
+        network = FluidNetwork({"p1": 2e9, "p2": 3e9})
+        network.add_group(FlowGroup("g", AlphaFairUtility(alpha=1.0)))
+        network.add_flow(FluidFlow("s1", ("p1",), LogUtility(), group_id="g"))
+        network.add_flow(FluidFlow("s2", ("p2",), LogUtility(), group_id="g"))
+        network.group("g").member_ids = ("s1", "s2")
+        result = solve_num_multipath(network)
+        assert network.is_feasible(result.rates, tolerance=1e-3)
+
+
+class TestClosedForms:
+    def test_proportional_fair_single_link(self):
+        assert proportional_fair_single_link(12.0, 4) == [3.0, 3.0, 3.0, 3.0]
+        assert proportional_fair_single_link(12.0, 0) == []
+
+    def test_alpha_fair_single_link(self):
+        rates = alpha_fair_single_link(10.0, [1.0, 4.0], alpha=2.0)
+        assert rates[0] == pytest.approx(2.0)
+        assert rates[1] == pytest.approx(8.0)
+
+    def test_alpha_fair_requires_positive_alpha(self):
+        with pytest.raises(ValueError):
+            alpha_fair_single_link(10.0, [1.0], alpha=0.0)

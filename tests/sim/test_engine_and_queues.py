@@ -1,0 +1,162 @@
+"""Tests for the discrete-event engine and queueing disciplines."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue, EcnQueue, PfabricQueue, StfqQueue
+
+
+def make_packet(flow_id=0, size=1500, **kwargs):
+    return Packet(flow_id=flow_id, source="a", destination="b", size_bytes=size, **kwargs)
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(3e-6, order.append, "c")
+        simulator.schedule(1e-6, order.append, "a")
+        simulator.schedule(2e-6, order.append, "b")
+        simulator.run()
+        assert order == ["a", "b", "c"]
+        assert simulator.now == pytest.approx(3e-6)
+
+    def test_ties_break_by_insertion_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(1e-6, order.append, 1)
+        simulator.schedule(1e-6, order.append, 2)
+        simulator.run()
+        assert order == [1, 2]
+
+    def test_run_until(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(1e-6, fired.append, 1)
+        simulator.schedule(5e-6, fired.append, 2)
+        simulator.run(until=2e-6)
+        assert fired == [1]
+        assert simulator.now == pytest.approx(2e-6)
+        simulator.run()
+        assert fired == [1, 2]
+
+    def test_cancelled_event_does_not_fire(self):
+        simulator = Simulator()
+        fired = []
+        handle = simulator.schedule(1e-6, fired.append, 1)
+        handle.cancel()
+        simulator.run()
+        assert fired == []
+
+    def test_cannot_schedule_in_the_past(self):
+        simulator = Simulator()
+        with pytest.raises(ValueError):
+            simulator.schedule(-1.0, lambda: None)
+
+    def test_periodic_timer_fires_until_stopped(self):
+        simulator = Simulator()
+        ticks = []
+        timer = simulator.every(1e-6, lambda: ticks.append(simulator.now))
+        simulator.run(until=5.5e-6)
+        timer.stop()
+        simulator.run(until=10e-6)
+        assert len(ticks) == 5
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self):
+        queue = DropTailQueue(capacity_bytes=10_000)
+        first, second = make_packet(sequence=1), make_packet(sequence=2)
+        queue.enqueue(first, 0.0)
+        queue.enqueue(second, 0.0)
+        assert queue.dequeue(0.0) is first
+        assert queue.dequeue(0.0) is second
+        assert queue.dequeue(0.0) is None
+
+    def test_drops_when_full(self):
+        queue = DropTailQueue(capacity_bytes=3000)
+        assert queue.enqueue(make_packet(), 0.0)
+        assert queue.enqueue(make_packet(), 0.0)
+        assert not queue.enqueue(make_packet(), 0.0)
+        assert queue.packets_dropped == 1
+        assert queue.bytes_queued == 3000
+
+
+class TestEcnQueue:
+    def test_marks_above_threshold(self):
+        queue = EcnQueue(capacity_bytes=1_000_000, marking_threshold_packets=2, mtu_bytes=1500)
+        packets = [make_packet(ecn_capable=True) for _ in range(4)]
+        for packet in packets:
+            queue.enqueue(packet, 0.0)
+        assert not packets[0].ecn_marked
+        assert not packets[1].ecn_marked
+        assert packets[2].ecn_marked
+        assert packets[3].ecn_marked
+
+    def test_non_ecn_packets_never_marked(self):
+        queue = EcnQueue(marking_threshold_packets=1)
+        packets = [make_packet(ecn_capable=False) for _ in range(3)]
+        for packet in packets:
+            queue.enqueue(packet, 0.0)
+        assert not any(p.ecn_marked for p in packets)
+
+
+class TestStfqQueue:
+    def test_weighted_service_order(self):
+        """A heavier flow (smaller virtual length) gets served more often."""
+        queue = StfqQueue()
+        # Flow A weight 1 (virtual length 1500), flow B weight 3 (500).
+        for i in range(3):
+            queue.enqueue(make_packet(flow_id="A", sequence=i, virtual_length=1500.0), 0.0)
+            queue.enqueue(make_packet(flow_id="B", sequence=i, virtual_length=500.0), 0.0)
+        served = [queue.dequeue(0.0).flow_id for _ in range(6)]
+        # Among the first four served packets, flow B gets at least two and
+        # is never starved behind all of A's backlog.
+        assert served.count("B") == 3
+        assert served[:4].count("B") >= 2
+
+    def test_control_packets_not_blocked(self):
+        queue = StfqQueue()
+        queue.enqueue(make_packet(flow_id="bulk", virtual_length=1e9), 0.0)
+        queue.enqueue(make_packet(flow_id="ctrl", size=40, virtual_length=0.0), 0.0)
+        # The control packet's zero virtual length puts it no later than the
+        # backlogged bulk packet that arrived first.
+        first = queue.dequeue(0.0)
+        assert first.flow_id == "bulk" or first.flow_id == "ctrl"
+        assert len(queue) == 1
+
+    def test_drop_when_full(self):
+        queue = StfqQueue(capacity_bytes=3000)
+        assert queue.enqueue(make_packet(), 0.0)
+        assert queue.enqueue(make_packet(), 0.0)
+        assert not queue.enqueue(make_packet(), 0.0)
+
+    def test_forget_flow(self):
+        queue = StfqQueue()
+        queue.enqueue(make_packet(flow_id="x", virtual_length=100.0), 0.0)
+        queue.dequeue(0.0)
+        queue.forget_flow("x")
+        assert queue._last_finish == {}
+
+
+class TestPfabricQueue:
+    def test_serves_smallest_priority_first(self):
+        queue = PfabricQueue(capacity_packets=10)
+        queue.enqueue(make_packet(flow_id="big", priority=1_000_000), 0.0)
+        queue.enqueue(make_packet(flow_id="small", priority=1_000), 0.0)
+        assert queue.dequeue(0.0).flow_id == "small"
+
+    def test_drops_largest_priority_on_overflow(self):
+        queue = PfabricQueue(capacity_packets=2)
+        queue.enqueue(make_packet(flow_id="a", priority=100), 0.0)
+        queue.enqueue(make_packet(flow_id="b", priority=10_000), 0.0)
+        assert queue.enqueue(make_packet(flow_id="c", priority=50), 0.0)
+        remaining = {queue.dequeue(0.0).flow_id, queue.dequeue(0.0).flow_id}
+        assert remaining == {"a", "c"}
+        assert queue.packets_dropped == 1
+
+    def test_arriving_least_urgent_packet_is_dropped(self):
+        queue = PfabricQueue(capacity_packets=1)
+        queue.enqueue(make_packet(flow_id="a", priority=10), 0.0)
+        assert not queue.enqueue(make_packet(flow_id="b", priority=1000), 0.0)
