@@ -1,0 +1,216 @@
+"""Performance harness: scalar vs vectorized fluid backends + sim engine.
+
+Times (stdlib ``time.perf_counter`` only, no external dependencies):
+
+* xWI fluid iteration at 50 / 200 / 1000 flows on a leaf-spine-like
+  multi-bottleneck topology, scalar vs vectorized backend, including a
+  parity check of the final allocations;
+* weighted max-min water-filling alone, scalar vs vectorized;
+* the discrete-event engine on a cancellation-heavy self-rescheduling
+  workload of 1e5 events (exercising the lazy purge and the O(1)
+  ``pending_events`` counter).
+
+Results are written as JSON to ``BENCH_fluid.json`` at the repository root
+(override with ``--out``) so successive PRs accumulate a perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --smoke    # CI-fast
+
+The ``--smoke`` mode shrinks flow counts and iteration counts so the whole
+harness finishes in about a second; it exists for the tier-1 smoke test in
+``benchmarks/perf/test_perf_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+from typing import Dict, List, Optional
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))), "src")
+if _SRC not in sys.path:  # allow running without installation
+    sys.path.insert(0, _SRC)
+
+from repro.core.utility import AlphaFairUtility, FctUtility, LogUtility
+from repro.fluid.maxmin import weighted_max_min
+from repro.fluid.network import FluidFlow, FluidNetwork
+from repro.fluid.xwi import XwiFluidSimulator
+from repro.sim.engine import Simulator
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_fluid.json")
+
+
+def build_network(n_flows: int, seed: int = 1) -> FluidNetwork:
+    """A leaf-spine-like multi-bottleneck fluid network with mixed utilities."""
+    rng = random.Random(seed)
+    n_leaves, n_spines = 8, 4
+    capacities = {f"leaf{i}": 10e9 for i in range(n_leaves)}
+    capacities.update({f"spine{i}": 40e9 for i in range(n_spines)})
+    network = FluidNetwork(capacities)
+    for f in range(n_flows):
+        src, dst = rng.sample(range(n_leaves), 2)
+        spine = rng.randrange(n_spines)
+        path = (f"leaf{src}", f"spine{spine}", f"leaf{dst}")
+        kind = f % 3
+        if kind == 0:
+            utility = LogUtility(weight=rng.uniform(0.5, 4.0))
+        elif kind == 1:
+            utility = AlphaFairUtility(alpha=rng.choice([0.5, 1.0, 2.0]))
+        else:
+            utility = FctUtility(flow_size=rng.uniform(1e4, 1e7))
+        network.add_flow(FluidFlow(f, path, utility))
+    return network
+
+
+def _time_xwi(n_flows: int, iterations: int, backend: str, seed: int = 1):
+    network = build_network(n_flows, seed=seed)
+    simulator = XwiFluidSimulator(network, backend=backend)
+    simulator.run(2, record_history=False)  # warm up (incl. one-time compile)
+    start = time.perf_counter()
+    records = simulator.run(iterations, record_history=False)
+    elapsed = time.perf_counter() - start
+    return elapsed, records[-1].rates
+
+
+def bench_xwi(flow_counts: List[int], iterations: int) -> List[Dict]:
+    rows = []
+    for n_flows in flow_counts:
+        scalar_s, scalar_rates = _time_xwi(n_flows, iterations, "scalar")
+        vector_s, vector_rates = _time_xwi(n_flows, iterations, "vectorized")
+        max_rel_diff = max(
+            (
+                abs(scalar_rates[f] - vector_rates[f]) / max(abs(scalar_rates[f]), 1.0)
+                for f in scalar_rates
+            ),
+            default=0.0,
+        )
+        rows.append(
+            {
+                "flows": n_flows,
+                "iterations": iterations,
+                "scalar_seconds": scalar_s,
+                "vectorized_seconds": vector_s,
+                "speedup": scalar_s / vector_s if vector_s > 0 else float("inf"),
+                "max_rel_rate_diff": max_rel_diff,
+            }
+        )
+    return rows
+
+
+def bench_maxmin(flow_counts: List[int], repeats: int) -> List[Dict]:
+    rows = []
+    for n_flows in flow_counts:
+        network = build_network(n_flows, seed=2)
+        weights = {flow.flow_id: 1.0 + (hash(flow.flow_id) % 7) for flow in network.flows}
+        paths = {flow.flow_id: flow.path for flow in network.flows}
+        capacities = network.capacities
+        timings = {}
+        for backend in ("scalar", "vectorized"):
+            start = time.perf_counter()
+            for _ in range(repeats):
+                result = weighted_max_min(weights, paths, capacities, backend=backend)
+            timings[backend] = time.perf_counter() - start
+        rows.append(
+            {
+                "flows": n_flows,
+                "repeats": repeats,
+                "scalar_seconds": timings["scalar"],
+                "vectorized_seconds": timings["vectorized"],
+                "speedup": timings["scalar"] / timings["vectorized"]
+                if timings["vectorized"] > 0
+                else float("inf"),
+            }
+        )
+    return rows
+
+
+def bench_engine(n_events: int) -> Dict:
+    """Cancellation-heavy event-loop benchmark (the retransmission-timer pattern).
+
+    Every fired event schedules one live successor and one decoy that is
+    immediately cancelled, so half of everything pushed into the heap is
+    dead weight -- exactly the load the lazy purge is for.
+    """
+    simulator = Simulator()
+
+    def noop() -> None:
+        pass
+
+    def reschedule() -> None:
+        if simulator.events_processed < n_events:
+            simulator.schedule(1e-6, reschedule)
+            simulator.schedule(2e-6, noop).cancel()
+
+    for _ in range(16):
+        simulator.schedule(1e-6, reschedule)
+    start = time.perf_counter()
+    simulator.run(max_events=n_events)
+    elapsed = time.perf_counter() - start
+    return {
+        "events": simulator.events_processed,
+        "seconds": elapsed,
+        "events_per_second": simulator.events_processed / elapsed if elapsed > 0 else float("inf"),
+        "pending_after": simulator.pending_events,
+    }
+
+
+def run(smoke: bool = False) -> Dict:
+    if smoke:
+        flow_counts, xwi_iterations, maxmin_repeats, engine_events = [20, 50], 5, 3, 20_000
+    else:
+        flow_counts, xwi_iterations, maxmin_repeats, engine_events = [50, 200, 1000], 25, 10, 100_000
+    return {
+        "meta": {
+            "smoke": smoke,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "xwi": bench_xwi(flow_counts, xwi_iterations),
+        "maxmin": bench_maxmin(flow_counts, maxmin_repeats),
+        "engine": bench_engine(engine_events),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> Dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes, ~1 s total")
+    parser.add_argument("--out", default=DEFAULT_OUTPUT, help="JSON output path")
+    args = parser.parse_args(argv)
+    out_dir = os.path.dirname(os.path.abspath(args.out))
+    if not os.path.isdir(out_dir):
+        parser.error(f"output directory does not exist: {out_dir}")
+    results = run(smoke=args.smoke)
+    with open(args.out, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    for row in results["xwi"]:
+        print(
+            f"xwi {row['flows']:>5} flows: scalar {row['scalar_seconds']:.3f}s, "
+            f"vectorized {row['vectorized_seconds']:.3f}s, "
+            f"speedup {row['speedup']:.1f}x, max rate diff {row['max_rel_rate_diff']:.2e}"
+        )
+    for row in results["maxmin"]:
+        print(
+            f"maxmin {row['flows']:>5} flows: speedup {row['speedup']:.1f}x "
+            f"({row['scalar_seconds']:.3f}s -> {row['vectorized_seconds']:.3f}s)"
+        )
+    engine = results["engine"]
+    print(
+        f"engine: {engine['events']} events in {engine['seconds']:.3f}s "
+        f"({engine['events_per_second']:.0f} events/s)"
+    )
+    print(f"wrote {args.out}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Smoke test for the perf harness: tiny sizes, asserts structure not speed.
+
+Keeps tier-1 fast while guaranteeing ``run_bench.py`` stays importable and
+runnable; the full (unmarked) benchmark run is a manual/periodic activity:
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py
+
+Deselect with ``-m "not perf_smoke"`` if even the ~1 s smoke run is too much.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import run_bench
+
+
+@pytest.mark.perf_smoke
+def test_run_bench_smoke_mode(tmp_path):
+    out = tmp_path / "BENCH_fluid.json"
+    results = run_bench.main(["--smoke", "--out", str(out)])
+
+    written = json.loads(out.read_text())
+    assert written["meta"]["smoke"] is True
+    assert [row["flows"] for row in written["xwi"]] == [20, 50]
+    for row in results["xwi"]:
+        # Backends must agree; speed is asserted only at full scale.
+        assert row["max_rel_rate_diff"] < 1e-9
+        assert row["scalar_seconds"] > 0 and row["vectorized_seconds"] > 0
+    for row in results["maxmin"]:
+        assert row["speedup"] > 0
+    assert results["engine"]["events"] == 20_000
+    assert results["engine"]["pending_after"] >= 0
+
+
+@pytest.mark.perf_smoke
+def test_bench_network_is_deterministic():
+    a = run_bench.build_network(30)
+    b = run_bench.build_network(30)
+    assert [f.path for f in a.flows] == [f.path for f in b.flows]
+    assert [repr(f.utility) for f in a.flows] == [repr(f.utility) for f in b.flows]

@@ -11,3 +11,11 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf_smoke: fast smoke-mode run of the benchmarks/perf harness "
+        '(deselect with -m "not perf_smoke")',
+    )

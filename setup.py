@@ -13,6 +13,6 @@ setup(
     version="0.1.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.9",
+    python_requires=">=3.10",  # slots=True dataclasses in sim/packet.py, fluid/network.py
     install_requires=["numpy", "scipy", "networkx"],
 )

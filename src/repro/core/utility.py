@@ -13,13 +13,24 @@ algorithms only ever need three operations on a utility:
 All utilities here are smooth, increasing and strictly concave on
 ``x > 0`` (the paper's assumption), so ``marginal`` is strictly decreasing
 and ``inverse_marginal`` is well defined for ``q > 0``.
+
+``marginal``, ``inverse_marginal`` and ``inverse_marginal_clipped`` are
+*array-aware*: they accept either a Python float (returning a float, the
+original scalar semantics) or a NumPy array (returning an array, computed
+elementwise with the same clamping rules) -- handy for evaluating one
+utility over many rates at once (sweeps, benchmarks, plotting).  Note the
+vectorized fluid backend (:mod:`repro.fluid.vectorized`) batches *across
+flows* instead, via :meth:`Utility.power_law_params` and per-family
+parameter arrays, because each flow carries its own utility instance.
 """
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import only used for type checking
     from repro.core.bandwidth_function import BandwidthFunction
@@ -33,6 +44,18 @@ if TYPE_CHECKING:  # pragma: no cover - import only used for type checking
 _EPSILON = 1e-30
 
 
+def _floored(x):
+    """Clamp a float or array to the ``_EPSILON`` floor (array-aware).
+
+    Both branches propagate NaN (``max``/``np.maximum`` return the NaN
+    operand), so an upstream bug fails loudly instead of being clamped
+    into a plausible-looking huge marginal.
+    """
+    if isinstance(x, np.ndarray):
+        return np.maximum(x, _EPSILON)
+    return max(x, _EPSILON)
+
+
 class Utility(ABC):
     """Abstract base class for concave utility functions."""
 
@@ -42,11 +65,21 @@ class Utility(ABC):
 
     @abstractmethod
     def marginal(self, rate: float) -> float:
-        """Return the marginal utility ``U'(rate)``."""
+        """Return the marginal utility ``U'(rate)`` (float or elementwise array)."""
 
     @abstractmethod
     def inverse_marginal(self, price: float) -> float:
-        """Return the rate ``x`` such that ``U'(x) == price``."""
+        """Return the rate ``x`` such that ``U'(x) == price`` (array-aware)."""
+
+    def power_law_params(self) -> Optional[Tuple[float, float]]:
+        """``(coefficient, exponent)`` when ``U'(x) = coefficient * x^(-exponent)``.
+
+        The vectorized fluid backend uses this to batch flows whose marginal
+        utility is a pure power law into single array operations.  Utilities
+        that are not of this form (or whose inverse marginal is undefined)
+        return ``None`` and fall back to per-flow scalar evaluation.
+        """
+        return None
 
     def inverse_marginal_clipped(self, price: float, max_rate: float) -> float:
         """``inverse_marginal`` clipped to ``(0, max_rate]``.
@@ -55,6 +88,13 @@ class Utility(ABC):
         the capacity of its narrowest link, so an arbitrarily small path
         price must not translate into an unbounded rate or weight.
         """
+        if isinstance(price, np.ndarray):
+            nonpositive = price <= 0.0
+            max_rate = np.broadcast_to(np.asarray(max_rate, dtype=float), price.shape)
+            if nonpositive.all():
+                return max_rate.copy()
+            inverse = self.inverse_marginal(np.where(nonpositive, _EPSILON, price))
+            return np.where(nonpositive, max_rate, np.minimum(inverse, max_rate))
         if price <= 0.0:
             return max_rate
         return min(self.inverse_marginal(price), max_rate)
@@ -83,7 +123,7 @@ class AlphaFairUtility(Utility):
         return rate ** (1.0 - self.alpha) / (1.0 - self.alpha)
 
     def marginal(self, rate: float) -> float:
-        rate = max(rate, _EPSILON)
+        rate = _floored(rate)
         return rate ** (-self.alpha)
 
     def inverse_marginal(self, price: float) -> float:
@@ -92,8 +132,13 @@ class AlphaFairUtility(Utility):
                 "alpha = 0 (pure throughput) has a constant marginal utility; "
                 "its inverse is not defined"
             )
-        price = max(price, _EPSILON)
+        price = _floored(price)
         return price ** (-1.0 / self.alpha)
+
+    def power_law_params(self) -> Optional[Tuple[float, float]]:
+        if self.alpha == 0.0:
+            return None
+        return (1.0, self.alpha)
 
     def __repr__(self) -> str:
         return f"AlphaFairUtility(alpha={self.alpha})"
@@ -122,12 +167,15 @@ class WeightedAlphaFairUtility(Utility):
         return scale * rate ** (1.0 - self.alpha) / (1.0 - self.alpha)
 
     def marginal(self, rate: float) -> float:
-        rate = max(rate, _EPSILON)
+        rate = _floored(rate)
         return (self.weight ** self.alpha) * rate ** (-self.alpha)
 
     def inverse_marginal(self, price: float) -> float:
-        price = max(price, _EPSILON)
+        price = _floored(price)
         return self.weight * price ** (-1.0 / self.alpha)
+
+    def power_law_params(self) -> Optional[Tuple[float, float]]:
+        return (self.weight ** self.alpha, self.alpha)
 
     def __repr__(self) -> str:
         return f"WeightedAlphaFairUtility(weight={self.weight}, alpha={self.alpha})"
@@ -143,10 +191,10 @@ class LogUtility(WeightedAlphaFairUtility):
         return self.weight * math.log(max(rate, _EPSILON))
 
     def marginal(self, rate: float) -> float:
-        return self.weight / max(rate, _EPSILON)
+        return self.weight / _floored(rate)
 
     def inverse_marginal(self, price: float) -> float:
-        return self.weight / max(price, _EPSILON)
+        return self.weight / _floored(price)
 
     def __repr__(self) -> str:
         return f"LogUtility(weight={self.weight})"
@@ -170,6 +218,8 @@ class LinearUtility(Utility):
         return self.weight * rate
 
     def marginal(self, rate: float) -> float:
+        if isinstance(rate, np.ndarray):
+            return np.full(rate.shape, self.weight)
         return self.weight
 
     def inverse_marginal(self, price: float) -> float:
@@ -203,12 +253,15 @@ class FctUtility(Utility):
         return rate ** (1.0 - self.epsilon) / (self.flow_size * (1.0 - self.epsilon))
 
     def marginal(self, rate: float) -> float:
-        rate = max(rate, _EPSILON)
+        rate = _floored(rate)
         return rate ** (-self.epsilon) / self.flow_size
 
     def inverse_marginal(self, price: float) -> float:
-        price = max(price, _EPSILON)
+        price = _floored(price)
         return (self.flow_size * price) ** (-1.0 / self.epsilon)
+
+    def power_law_params(self) -> Optional[Tuple[float, float]]:
+        return (1.0 / self.flow_size, self.epsilon)
 
     def __repr__(self) -> str:
         return f"FctUtility(flow_size={self.flow_size}, epsilon={self.epsilon})"
@@ -234,10 +287,14 @@ class BandwidthFunctionUtility(Utility):
         return self.bandwidth_function.integral_inverse_power(max(rate, 0.0), self.alpha)
 
     def marginal(self, rate: float) -> float:
+        if isinstance(rate, np.ndarray):
+            return np.array([self.marginal(float(r)) for r in rate])
         fair_share = self.bandwidth_function.inverse(max(rate, _EPSILON))
         return max(fair_share, _EPSILON) ** (-self.alpha)
 
     def inverse_marginal(self, price: float) -> float:
+        if isinstance(price, np.ndarray):
+            return np.array([self.inverse_marginal(float(q)) for q in price])
         price = max(price, _EPSILON)
         fair_share = price ** (-1.0 / self.alpha)
         return self.bandwidth_function(fair_share)

@@ -74,6 +74,12 @@ class SimulatorRatePolicy(RatePolicy):
     it is advanced one iteration per ``step_interval`` of simulated time, so
     schemes with slower convergence deliver fewer bytes to short flows --
     exactly the effect Fig. 5 measures.
+
+    For large dynamic workloads, build the xWI simulator with
+    ``backend="vectorized"`` (e.g. ``lambda network:
+    XwiFluidSimulator(network, backend="vectorized")``): the compiled
+    incidence structure is invalidated only on flow arrivals/departures, so
+    the per-iteration cost between flow-set changes is pure array math.
     """
 
     def __init__(self, simulator_factory: Callable[[FluidNetwork], object]):

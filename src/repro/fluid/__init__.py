@@ -8,6 +8,12 @@ convergence times via the paper's update intervals.
 
 from repro.fluid.network import FluidFlow, FluidNetwork, FlowGroup
 from repro.fluid.maxmin import weighted_max_min
+from repro.fluid.vectorized import (
+    CompiledFluidNetwork,
+    VectorizedUtilities,
+    compile_network,
+    weighted_max_min_vectorized,
+)
 from repro.fluid.oracle import solve_num, solve_num_multipath
 from repro.fluid.dgd import DgdFluidSimulator
 from repro.fluid.rcp import RcpStarFluidSimulator
@@ -20,6 +26,10 @@ __all__ = [
     "FluidNetwork",
     "FlowGroup",
     "weighted_max_min",
+    "weighted_max_min_vectorized",
+    "CompiledFluidNetwork",
+    "VectorizedUtilities",
+    "compile_network",
     "solve_num",
     "solve_num_multipath",
     "DgdFluidSimulator",

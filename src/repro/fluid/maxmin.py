@@ -15,10 +15,33 @@ LinkId = Hashable
 FlowId = Hashable
 
 
+def _validate_instance(
+    weights: Mapping[FlowId, float],
+    paths: Mapping[FlowId, Sequence[LinkId]],
+    capacities: Mapping[LinkId, float],
+) -> List[FlowId]:
+    flow_ids = list(weights)
+    if set(flow_ids) != set(paths):
+        raise ValueError("weights and paths must cover the same flow ids")
+    for flow_id in flow_ids:
+        if weights[flow_id] <= 0:
+            raise ValueError(f"flow {flow_id!r} must have a positive weight")
+        path = paths[flow_id]
+        if not path:
+            raise ValueError(f"flow {flow_id!r} has an empty path")
+        if len(set(path)) != len(path):
+            raise ValueError(f"flow {flow_id!r} traverses a link twice: {tuple(path)!r}")
+        for link in path:
+            if link not in capacities:
+                raise KeyError(f"flow {flow_id!r} references unknown link {link!r}")
+    return flow_ids
+
+
 def weighted_max_min(
     weights: Mapping[FlowId, float],
     paths: Mapping[FlowId, Sequence[LinkId]],
     capacities: Mapping[LinkId, float],
+    backend: str = "scalar",
 ) -> Dict[FlowId, float]:
     """Compute the network-wide weighted max-min fair allocation.
 
@@ -31,6 +54,11 @@ def weighted_max_min(
         Sequence of links traversed by each flow.
     capacities:
         Capacity of every link (same units as the returned rates).
+    backend:
+        ``"scalar"`` (the reference implementation below) or
+        ``"vectorized"`` (NumPy water-filling from
+        :mod:`repro.fluid.vectorized`; same allocation, one to two orders of
+        magnitude faster on large flow populations).
 
     Returns
     -------
@@ -42,17 +70,13 @@ def weighted_max_min(
     Complexity is O(#links * #flows) per freezing round and there are at
     most ``#links`` rounds.
     """
-    flow_ids = list(weights)
-    if set(flow_ids) != set(paths):
-        raise ValueError("weights and paths must cover the same flow ids")
-    for flow_id in flow_ids:
-        if weights[flow_id] <= 0:
-            raise ValueError(f"flow {flow_id!r} must have a positive weight")
-        if not paths[flow_id]:
-            raise ValueError(f"flow {flow_id!r} has an empty path")
-        for link in paths[flow_id]:
-            if link not in capacities:
-                raise KeyError(f"flow {flow_id!r} references unknown link {link!r}")
+    if backend == "vectorized":
+        from repro.fluid.vectorized import weighted_max_min_vectorized
+
+        return weighted_max_min_vectorized(weights, paths, capacities)
+    if backend != "scalar":
+        raise ValueError(f"unknown max-min backend {backend!r}")
+    flow_ids = _validate_instance(weights, paths, capacities)
 
     rates: Dict[FlowId, float] = {}
     if not flow_ids:

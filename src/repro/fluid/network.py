@@ -10,7 +10,8 @@ utility defined on their aggregate rate (Table 1, fourth row).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from types import MappingProxyType
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.utility import LogUtility, Utility
 
@@ -18,9 +19,15 @@ LinkId = Hashable
 FlowId = Hashable
 
 
-@dataclass
+@dataclass(slots=True)
 class FluidFlow:
-    """A unidirectional flow (or sub-flow) traversing a fixed path of links."""
+    """A unidirectional flow (or sub-flow) traversing a fixed path of links.
+
+    ``utility`` may be rebound to a different instance between iterations
+    (both fluid backends pick that up), but treat utility objects themselves
+    as immutable: the vectorized backend batches their parameters at compile
+    time and cannot observe in-place mutation.
+    """
 
     flow_id: FlowId
     path: Tuple[LinkId, ...]
@@ -31,6 +38,11 @@ class FluidFlow:
         self.path = tuple(self.path)
         if not self.path:
             raise ValueError(f"flow {self.flow_id!r} must traverse at least one link")
+        if len(set(self.path)) != len(self.path):
+            # A repeated link would be double-counted by the scalar engine but
+            # can't be represented in the boolean incidence matrix of the
+            # vectorized backend; reject it outright (no topology builds one).
+            raise ValueError(f"flow {self.flow_id!r} traverses a link twice: {self.path!r}")
 
 
 @dataclass
@@ -57,14 +69,30 @@ class FluidNetwork:
             if capacity <= 0:
                 raise ValueError(f"link {link!r} must have positive capacity, got {capacity}")
         self._capacities: Dict[LinkId, float] = dict(capacities)
+        # Zero-copy read-only view handed out by the ``capacities`` property;
+        # it tracks ``set_capacity`` updates automatically.
+        self._capacities_view: Mapping[LinkId, float] = MappingProxyType(self._capacities)
         self._flows: Dict[FlowId, FluidFlow] = {}
         self._groups: Dict[Hashable, FlowGroup] = {}
+        self._topology_version = 0
 
     # -- links ------------------------------------------------------------
 
     @property
-    def capacities(self) -> Dict[LinkId, float]:
-        return dict(self._capacities)
+    def capacities(self) -> Mapping[LinkId, float]:
+        """Read-only live view of the link capacities (no per-access copy)."""
+        return self._capacities_view
+
+    @property
+    def topology_version(self) -> int:
+        """Monotonic counter bumped on every flow/group arrival or departure.
+
+        Compiled (vectorized) backends cache the link x flow incidence
+        structure and recompile only when this counter moves; capacity
+        changes (``set_capacity``) do not bump it because compiled backends
+        re-read capacities on every iteration.
+        """
+        return self._topology_version
 
     def capacity(self, link: LinkId) -> float:
         return self._capacities[link]
@@ -93,6 +121,7 @@ class FluidNetwork:
         if flow.group_id is not None and flow.group_id in self._groups:
             group = self._groups[flow.group_id]
             group.member_ids = tuple(list(group.member_ids) + [flow.flow_id])
+        self._topology_version += 1
         return flow
 
     def remove_flow(self, flow_id: FlowId) -> FluidFlow:
@@ -100,12 +129,14 @@ class FluidNetwork:
         if flow.group_id is not None and flow.group_id in self._groups:
             group = self._groups[flow.group_id]
             group.member_ids = tuple(m for m in group.member_ids if m != flow_id)
+        self._topology_version += 1
         return flow
 
     def add_group(self, group: FlowGroup) -> FlowGroup:
         if group.group_id in self._groups:
             raise ValueError(f"duplicate group id {group.group_id!r}")
         self._groups[group.group_id] = group
+        self._topology_version += 1
         return group
 
     @property

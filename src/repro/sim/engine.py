@@ -3,6 +3,11 @@
 A minimal but complete event loop: events are (time, sequence, callback)
 tuples in a binary heap; ties in time are broken by insertion order so the
 simulation is fully deterministic.
+
+Cancellation is lazy (the heap entry stays until popped), but the scheduler
+keeps an O(1) live-event count and compacts the heap whenever more than
+half of it is cancelled entries, so cancellation-heavy workloads (e.g.
+retransmission timers) cannot bloat the queue or slow the pop path.
 """
 
 from __future__ import annotations
@@ -11,19 +16,28 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+# Don't bother compacting tiny heaps: rebuilding costs more than the pops save.
+_COMPACT_MIN_SIZE = 64
+
 
 class EventHandle:
     """Handle to a scheduled event, allowing cancellation."""
 
-    __slots__ = ("time", "cancelled")
+    __slots__ = ("time", "cancelled", "_scheduler")
 
-    def __init__(self, time: float):
+    def __init__(self, time: float, scheduler: Optional["Simulator"] = None):
         self.time = time
         self.cancelled = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the event's callback from running when its time comes."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        scheduler, self._scheduler = self._scheduler, None
+        if scheduler is not None:
+            scheduler._on_cancel()
 
 
 class Simulator:
@@ -34,6 +48,7 @@ class Simulator:
         self._queue: List[Tuple[float, int, EventHandle, Callable[..., None], tuple]] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        self._cancelled_pending = 0
 
     @property
     def now(self) -> float:
@@ -46,7 +61,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for entry in self._queue if not entry[2].cancelled)
+        """Number of live (non-cancelled) events still queued; O(1)."""
+        return len(self._queue) - self._cancelled_pending
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
@@ -58,9 +74,24 @@ class Simulator:
         """Schedule ``callback(*args)`` at an absolute simulation time."""
         if time < self._now:
             raise ValueError(f"cannot schedule at {time} (now is {self._now})")
-        handle = EventHandle(time)
+        handle = EventHandle(time, self)
         heapq.heappush(self._queue, (time, next(self._sequence), handle, callback, args))
         return handle
+
+    def _on_cancel(self) -> None:
+        """A still-queued event was cancelled; compact if mostly dead weight."""
+        self._cancelled_pending += 1
+        if (
+            len(self._queue) >= _COMPACT_MIN_SIZE
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Purge cancelled entries and rebuild the heap in O(live events)."""
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Process events until the queue is empty, ``until`` is reached, or
@@ -77,7 +108,11 @@ class Simulator:
                 return
             heapq.heappop(self._queue)
             if handle.cancelled:
+                self._cancelled_pending -= 1
                 continue
+            # Dissociate so a late cancel() (after the event fired) does not
+            # corrupt the pending-event accounting.
+            handle._scheduler = None
             self._now = time
             callback(*args)
             self._events_processed += 1

@@ -31,6 +31,19 @@ class PortController(Protocol):
 class OutputPort:
     """One output link of a node: queue + serializer + propagation delay."""
 
+    __slots__ = (
+        "simulator",
+        "name",
+        "rate_bps",
+        "propagation_delay",
+        "queue",
+        "peer",
+        "controllers",
+        "_busy",
+        "bytes_transmitted",
+        "packets_transmitted",
+    )
+
     def __init__(
         self,
         simulator: Simulator,

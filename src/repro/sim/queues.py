@@ -25,6 +25,8 @@ from repro.sim.packet import Packet
 class QueueDiscipline(ABC):
     """Interface of a per-output-port packet queue."""
 
+    __slots__ = ("bytes_queued", "packets_dropped")
+
     def __init__(self):
         self.bytes_queued = 0
         self.packets_dropped = 0
@@ -48,6 +50,8 @@ class QueueDiscipline(ABC):
 
 class DropTailQueue(QueueDiscipline):
     """FIFO with a byte-based drop-tail limit."""
+
+    __slots__ = ("capacity_bytes", "_queue")
 
     def __init__(self, capacity_bytes: float = 1_000_000):
         super().__init__()
@@ -82,6 +86,8 @@ class EcnQueue(DropTailQueue):
     when the queue occupancy exceeds K packets.
     """
 
+    __slots__ = ("marking_threshold_bytes", "packets_marked")
+
     def __init__(self, capacity_bytes: float = 1_000_000, marking_threshold_packets: int = 65,
                  mtu_bytes: int = 1500):
         super().__init__(capacity_bytes)
@@ -112,6 +118,8 @@ class StfqQueue(QueueDiscipline):
     effectively highest priority -- matching the paper's treatment of control
     traffic.
     """
+
+    __slots__ = ("capacity_bytes", "virtual_time", "_last_finish", "_heap", "_tiebreak")
 
     def __init__(self, capacity_bytes: float = 1_000_000):
         super().__init__()
@@ -157,6 +165,8 @@ class PfabricQueue(QueueDiscipline):
     urgent) currently in the queue is dropped -- if the arriving packet is
     itself the least urgent, it is the one dropped.
     """
+
+    __slots__ = ("capacity_packets", "_packets")
 
     def __init__(self, capacity_packets: int = 24):
         super().__init__()

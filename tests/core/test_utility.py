@@ -161,3 +161,64 @@ class TestConcavityInvariants:
         rates = [1e6, 1e7, 1e8, 1e9, 5e9]
         marginals = [utility.marginal(r) for r in rates]
         assert all(b <= a + 1e-12 for a, b in zip(marginals, marginals[1:]))
+
+
+class TestArrayAwareMethods:
+    """The array paths must agree elementwise with the scalar paths."""
+
+    RATES = [0.0, 1e-35, 1e3, 5e9, 1e11]
+    PRICES = [-1.0, 0.0, 1e-35, 1e-9, 0.5, 3.0]
+
+    def utilities(self):
+        return [
+            LogUtility(weight=2.0),
+            AlphaFairUtility(alpha=0.5),
+            AlphaFairUtility(alpha=2.0),
+            WeightedAlphaFairUtility(weight=3.0, alpha=1.5),
+            FctUtility(flow_size=1e6),
+            BandwidthFunctionUtility(fig2_flow1()),
+        ]
+
+    def test_marginal_matches_scalar_elementwise(self):
+        import numpy as np
+
+        rates = np.array(self.RATES)
+        for utility in self.utilities():
+            expected = [utility.marginal(r) for r in self.RATES]
+            assert utility.marginal(rates).tolist() == pytest.approx(expected)
+
+    def test_inverse_marginal_matches_scalar_elementwise(self):
+        import numpy as np
+
+        prices = np.array(self.PRICES)
+        for utility in self.utilities():
+            expected = [utility.inverse_marginal(p) for p in self.PRICES]
+            assert utility.inverse_marginal(prices).tolist() == pytest.approx(expected)
+
+    def test_inverse_marginal_clipped_matches_scalar_elementwise(self):
+        import numpy as np
+
+        prices = np.array(self.PRICES)
+        max_rate = 7e9
+        for utility in self.utilities():
+            expected = [utility.inverse_marginal_clipped(p, max_rate) for p in self.PRICES]
+            result = utility.inverse_marginal_clipped(prices, max_rate)
+            assert result.tolist() == pytest.approx(expected)
+
+    def test_clipped_all_nonpositive_prices_returns_max_rates(self):
+        import numpy as np
+
+        prices = np.array([-1.0, 0.0, -5.0])
+        result = LogUtility().inverse_marginal_clipped(prices, 4e9)
+        assert result.tolist() == [4e9, 4e9, 4e9]
+        # LinearUtility would raise on any positive price, but an
+        # all-nonpositive vector must short-circuit exactly like the scalar.
+        assert LinearUtility().inverse_marginal_clipped(prices, 4e9).tolist() == [4e9] * 3
+
+    def test_linear_utility_array_marginal_is_constant(self):
+        import numpy as np
+
+        utility = LinearUtility(weight=2.5)
+        assert utility.marginal(np.array([1.0, 2.0, 3.0])).tolist() == [2.5, 2.5, 2.5]
+        with pytest.raises(ValueError):
+            utility.inverse_marginal(np.array([0.5]))

@@ -160,3 +160,64 @@ class TestPfabricQueue:
         queue = PfabricQueue(capacity_packets=1)
         queue.enqueue(make_packet(flow_id="a", priority=10), 0.0)
         assert not queue.enqueue(make_packet(flow_id="b", priority=1000), 0.0)
+
+
+class TestLazyCancellationPurge:
+    def test_pending_events_is_live_count(self):
+        simulator = Simulator()
+        handles = [simulator.schedule(1e-6 * (i + 1), lambda: None) for i in range(10)]
+        assert simulator.pending_events == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert simulator.pending_events == 6
+        handles[0].cancel()  # double-cancel must not double-count
+        assert simulator.pending_events == 6
+
+    def test_compaction_purges_cancelled_entries(self):
+        simulator = Simulator()
+        fired = []
+        keep = [simulator.schedule(1e-6 * (i + 1), fired.append, i) for i in range(40)]
+        doomed = [simulator.schedule(1.0 + 1e-6 * i, fired.append, 1000 + i) for i in range(160)]
+        for handle in doomed:
+            handle.cancel()
+        # Compaction keeps the cancelled fraction bounded: the heap may hold
+        # at most ~half dead entries, never all 160.
+        assert len(simulator._queue) <= 2 * len(keep) + 1
+        assert simulator.pending_events == len(keep)
+        simulator.run()
+        assert fired == list(range(40))
+
+    def test_cancel_after_fire_keeps_count_consistent(self):
+        simulator = Simulator()
+        handle = simulator.schedule(1e-6, lambda: None)
+        simulator.schedule(2e-6, lambda: None)
+        simulator.run(until=1.5e-6)
+        handle.cancel()  # already fired; must not affect the live count
+        assert simulator.pending_events == 1
+        simulator.run()
+        assert simulator.pending_events == 0
+
+    def test_cancellation_inside_callback(self):
+        simulator = Simulator()
+        fired = []
+        later = [simulator.schedule(1.0 + 1e-6 * i, fired.append, i) for i in range(100)]
+
+        def cancel_all():
+            for handle in later:
+                handle.cancel()
+
+        simulator.schedule(1e-6, cancel_all)
+        simulator.run()
+        assert fired == []
+        assert simulator.pending_events == 0
+
+
+class TestHotPathSlots:
+    def test_hot_path_objects_have_no_instance_dict(self):
+        packet = make_packet()
+        assert not hasattr(packet, "__dict__")
+        for queue in (DropTailQueue(), EcnQueue(), StfqQueue(), PfabricQueue()):
+            assert not hasattr(queue, "__dict__")
+        simulator = Simulator()
+        handle = simulator.schedule(1e-6, lambda: None)
+        assert not hasattr(handle, "__dict__")

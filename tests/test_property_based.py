@@ -5,8 +5,15 @@ import math
 from hypothesis import given, settings, strategies as st
 
 from repro.core.bandwidth_function import PiecewiseLinearBandwidthFunction, single_link_allocation
-from repro.core.utility import AlphaFairUtility, FctUtility, WeightedAlphaFairUtility
+from repro.core.utility import (
+    AlphaFairUtility,
+    FctUtility,
+    LogUtility,
+    WeightedAlphaFairUtility,
+)
 from repro.fluid.maxmin import weighted_max_min
+from repro.fluid.network import FluidFlow, FluidNetwork
+from repro.fluid.xwi import XwiFluidSimulator
 
 rates = st.floats(min_value=1e3, max_value=1e11, allow_nan=False, allow_infinity=False)
 alphas = st.floats(min_value=0.1, max_value=4.0)
@@ -117,6 +124,77 @@ class TestWeightedMaxMinProperties:
         )
         for flow in base:
             assert math.isclose(scaled[flow], base[flow] * scale, rel_tol=1e-6)
+
+    @given(instance=maxmin_instances())
+    @settings(max_examples=200)
+    def test_vectorized_backend_matches_scalar(self, instance):
+        """The NumPy water-filling gives the scalar allocation on any topology."""
+        flow_weights, paths, capacities = instance
+        scalar = weighted_max_min(flow_weights, paths, capacities)
+        vectorized = weighted_max_min(flow_weights, paths, capacities, backend="vectorized")
+        assert set(scalar) == set(vectorized)
+        for flow, rate in scalar.items():
+            assert math.isclose(vectorized[flow], rate, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@st.composite
+def xwi_networks(draw):
+    """Random fluid networks with a mix of utility families."""
+    n_links = draw(st.integers(min_value=1, max_value=4))
+    capacities = {
+        f"l{i}": draw(st.floats(min_value=1e8, max_value=4e10)) for i in range(n_links)
+    }
+    network = FluidNetwork(capacities)
+    n_flows = draw(st.integers(min_value=1, max_value=6))
+    for f in range(n_flows):
+        path_len = draw(st.integers(min_value=1, max_value=n_links))
+        path = tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(sorted(capacities)), min_size=path_len,
+                    max_size=path_len, unique=True,
+                )
+            )
+        )
+        utility = draw(
+            st.one_of(
+                st.builds(LogUtility, weight=st.floats(min_value=0.1, max_value=10.0)),
+                st.builds(AlphaFairUtility, alpha=st.floats(min_value=0.3, max_value=2.5)),
+                st.builds(
+                    WeightedAlphaFairUtility,
+                    weight=st.floats(min_value=0.1, max_value=10.0),
+                    alpha=st.floats(min_value=0.3, max_value=2.5),
+                ),
+                st.builds(FctUtility, flow_size=st.floats(min_value=1e3, max_value=1e8)),
+            )
+        )
+        network.add_flow(FluidFlow(f, path, utility))
+    return network
+
+
+class TestXwiBackendParityProperties:
+    @given(network=xwi_networks(), iterations=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_vectorized_xwi_matches_scalar(self, network, iterations):
+        """Scalar and vectorized xWI agree to 1e-9 on random topologies."""
+        import copy
+
+        mirror = FluidNetwork(dict(network.capacities))
+        for flow in network.flows:
+            mirror.add_flow(FluidFlow(flow.flow_id, flow.path, copy.deepcopy(flow.utility)))
+        scalar = XwiFluidSimulator(network)
+        vectorized = XwiFluidSimulator(mirror, backend="vectorized")
+        for _ in range(iterations):
+            scalar_record = scalar.step()
+            vectorized_record = vectorized.step()
+        for flow_id, rate in scalar_record.rates.items():
+            assert math.isclose(
+                vectorized_record.rates[flow_id], rate, rel_tol=1e-9, abs_tol=1e-3
+            ), flow_id
+        for link, price in scalar_record.prices.items():
+            assert math.isclose(
+                vectorized_record.prices[link], price, rel_tol=1e-9, abs_tol=1e-18
+            ), link
 
 
 @st.composite
