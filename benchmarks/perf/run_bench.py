@@ -2,13 +2,23 @@
 
 Times (stdlib ``time.perf_counter`` only, no external dependencies):
 
-* xWI fluid iteration at 50 / 200 / 1000 flows on a leaf-spine-like
-  multi-bottleneck topology, scalar vs vectorized backend, including a
-  parity check of the final allocations;
-* weighted max-min water-filling alone, scalar vs vectorized;
-* the discrete-event engine on a cancellation-heavy self-rescheduling
-  workload of 1e5 events (exercising the lazy purge and the O(1)
-  ``pending_events`` counter).
+* one control-loop iteration of every fluid scheme -- xWI, DGD, RCP* and
+  DCTCP -- at 50 / 200 / 1000 flows on a leaf-spine-like multi-bottleneck
+  topology, scalar vs vectorized backend, including a parity check of the
+  final allocations;
+* weighted max-min water-filling alone: the scalar reference, the one-shot
+  vectorized entry point, and the compiled entry point
+  (:class:`repro.fluid.vectorized.CompiledMaxMin`) that amortizes the
+  incidence build over repeated solves;
+* the discrete-event engine: a cancellation-heavy self-rescheduling
+  workload (exercising the lazy purge and the O(1) ``pending_events``
+  counter), the handle-allocating vs fire-and-forget scheduling paths on
+  an identical self-rescheduling workload (the before/after pair for the
+  event free-list), and a packet stream through an :class:`OutputPort`.
+
+Any scheme whose vectorized allocation drifts more than 1e-9 (relative)
+from its scalar reference aborts the run with a loud error -- the harness
+doubles as a coarse parity canary.
 
 Results are written as JSON to ``BENCH_fluid.json`` at the repository root
 (override with ``--out``) so successive PRs accumulate a perf trajectory.
@@ -39,13 +49,29 @@ if _SRC not in sys.path:  # allow running without installation
     sys.path.insert(0, _SRC)
 
 from repro.core.utility import AlphaFairUtility, FctUtility, LogUtility
+from repro.fluid.dctcp import DctcpFluidSimulator
+from repro.fluid.dgd import DgdFluidSimulator
 from repro.fluid.maxmin import weighted_max_min
 from repro.fluid.network import FluidFlow, FluidNetwork
+from repro.fluid.rcp import RcpStarFluidSimulator
+from repro.fluid.vectorized import CompiledMaxMin
 from repro.fluid.xwi import XwiFluidSimulator
 from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.port import OutputPort
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_fluid.json")
+
+PARITY_TOLERANCE = 1e-9
+
+#: The comparison schemes ported to ``backend="vectorized"`` in this repo;
+#: xWI is benchmarked separately (it predates them and skips history).
+SCHEME_SIMULATORS = {
+    "dgd": DgdFluidSimulator,
+    "rcp_star": RcpStarFluidSimulator,
+    "dctcp": DctcpFluidSimulator,
+}
 
 
 def build_network(n_flows: int, seed: int = 1) -> FluidNetwork:
@@ -70,6 +96,16 @@ def build_network(n_flows: int, seed: int = 1) -> FluidNetwork:
     return network
 
 
+def _max_rel_rate_diff(reference: Dict, candidate: Dict) -> float:
+    return max(
+        (
+            abs(reference[f] - candidate[f]) / max(abs(reference[f]), 1.0)
+            for f in reference
+        ),
+        default=0.0,
+    )
+
+
 def _time_xwi(n_flows: int, iterations: int, backend: str, seed: int = 1):
     network = build_network(n_flows, seed=seed)
     simulator = XwiFluidSimulator(network, backend=backend)
@@ -85,13 +121,6 @@ def bench_xwi(flow_counts: List[int], iterations: int) -> List[Dict]:
     for n_flows in flow_counts:
         scalar_s, scalar_rates = _time_xwi(n_flows, iterations, "scalar")
         vector_s, vector_rates = _time_xwi(n_flows, iterations, "vectorized")
-        max_rel_diff = max(
-            (
-                abs(scalar_rates[f] - vector_rates[f]) / max(abs(scalar_rates[f]), 1.0)
-                for f in scalar_rates
-            ),
-            default=0.0,
-        )
         rows.append(
             {
                 "flows": n_flows,
@@ -99,13 +128,45 @@ def bench_xwi(flow_counts: List[int], iterations: int) -> List[Dict]:
                 "scalar_seconds": scalar_s,
                 "vectorized_seconds": vector_s,
                 "speedup": scalar_s / vector_s if vector_s > 0 else float("inf"),
-                "max_rel_rate_diff": max_rel_diff,
+                "max_rel_rate_diff": _max_rel_rate_diff(scalar_rates, vector_rates),
             }
         )
     return rows
 
 
+def _time_scheme(scheme: str, n_flows: int, iterations: int, backend: str, seed: int = 1):
+    simulator = SCHEME_SIMULATORS[scheme](build_network(n_flows, seed=seed), backend=backend)
+    simulator.run(2, record_history=False)  # warm up (incl. one-time compile)
+    start = time.perf_counter()
+    records = simulator.run(iterations, record_history=False)
+    elapsed = time.perf_counter() - start
+    return elapsed, records[-1].rates
+
+
+def bench_schemes(flow_counts: List[int], iterations: int) -> Dict[str, List[Dict]]:
+    """Scalar vs vectorized timing + parity for DGD, RCP* and DCTCP."""
+    results: Dict[str, List[Dict]] = {}
+    for scheme in SCHEME_SIMULATORS:
+        rows = []
+        for n_flows in flow_counts:
+            scalar_s, scalar_rates = _time_scheme(scheme, n_flows, iterations, "scalar")
+            vector_s, vector_rates = _time_scheme(scheme, n_flows, iterations, "vectorized")
+            rows.append(
+                {
+                    "flows": n_flows,
+                    "iterations": iterations,
+                    "scalar_seconds": scalar_s,
+                    "vectorized_seconds": vector_s,
+                    "speedup": scalar_s / vector_s if vector_s > 0 else float("inf"),
+                    "max_rel_rate_diff": _max_rel_rate_diff(scalar_rates, vector_rates),
+                }
+            )
+        results[scheme] = rows
+    return results
+
+
 def bench_maxmin(flow_counts: List[int], repeats: int) -> List[Dict]:
+    """Repeated weighted max-min solves: scalar vs one-shot vs compiled."""
     rows = []
     for n_flows in flow_counts:
         network = build_network(n_flows, seed=2)
@@ -113,26 +174,41 @@ def bench_maxmin(flow_counts: List[int], repeats: int) -> List[Dict]:
         paths = {flow.flow_id: flow.path for flow in network.flows}
         capacities = network.capacities
         timings = {}
+        results = {}
         for backend in ("scalar", "vectorized"):
             start = time.perf_counter()
             for _ in range(repeats):
-                result = weighted_max_min(weights, paths, capacities, backend=backend)
+                results[backend] = weighted_max_min(weights, paths, capacities, backend=backend)
             timings[backend] = time.perf_counter() - start
+        compiled = CompiledMaxMin(paths, capacities)
+        compiled.solve(weights)  # warm up
+        start = time.perf_counter()
+        for _ in range(repeats):
+            results["compiled"] = compiled.solve(weights)
+        timings["compiled"] = time.perf_counter() - start
         rows.append(
             {
                 "flows": n_flows,
                 "repeats": repeats,
                 "scalar_seconds": timings["scalar"],
                 "vectorized_seconds": timings["vectorized"],
+                "compiled_seconds": timings["compiled"],
                 "speedup": timings["scalar"] / timings["vectorized"]
                 if timings["vectorized"] > 0
                 else float("inf"),
+                "compiled_speedup": timings["scalar"] / timings["compiled"]
+                if timings["compiled"] > 0
+                else float("inf"),
+                "max_rel_rate_diff": max(
+                    _max_rel_rate_diff(results["scalar"], results["vectorized"]),
+                    _max_rel_rate_diff(results["scalar"], results["compiled"]),
+                ),
             }
         )
     return rows
 
 
-def bench_engine(n_events: int) -> Dict:
+def _bench_cancellation_heavy(n_events: int) -> Dict:
     """Cancellation-heavy event-loop benchmark (the retransmission-timer pattern).
 
     Every fired event schedules one live successor and one decoy that is
@@ -162,12 +238,113 @@ def bench_engine(n_events: int) -> Dict:
     }
 
 
+def _bench_self_reschedule(n_events: int, uncancellable: bool) -> Dict:
+    """Identical self-rescheduling workload on either scheduling path.
+
+    The ``handle`` / ``uncancellable`` pair is the before/after measurement
+    for the event free-list: same callbacks, same heap traffic, the only
+    difference is whether each event allocates an ``EventHandle``.
+    """
+    simulator = Simulator()
+    schedule = simulator.schedule_uncancellable if uncancellable else simulator.schedule
+
+    def reschedule() -> None:
+        if simulator.events_processed < n_events:
+            schedule(1e-6, reschedule)
+
+    for _ in range(16):
+        schedule(1e-6, reschedule)
+    start = time.perf_counter()
+    simulator.run(max_events=n_events)
+    elapsed = time.perf_counter() - start
+    return {
+        "events": simulator.events_processed,
+        "seconds": elapsed,
+        "events_per_second": simulator.events_processed / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+class _CountingSink:
+    """Receives packets from a port and keeps the stream alive."""
+
+    def __init__(self, port: OutputPort, n_packets: int):
+        self.port = port
+        self.n_packets = n_packets
+        self.received = 0
+
+    def receive(self, packet: Packet) -> None:
+        self.received += 1
+        if self.received < self.n_packets:
+            self.port.send(packet)
+
+
+def _bench_port_stream(n_packets: int) -> Dict:
+    """A closed-loop packet stream through one OutputPort.
+
+    Each packet costs two events (serialization finish + propagation
+    delivery), both on the fire-and-forget path -- the packet-level
+    simulator's hot loop, isolated.
+    """
+    simulator = Simulator()
+    port = OutputPort(simulator, "bench", rate_bps=10e9, propagation_delay=1e-6)
+    sink = _CountingSink(port, n_packets)
+    port.connect(sink)
+    for _ in range(32):
+        port.send(Packet(flow_id=0, source=0, destination=1, size_bytes=1500))
+    start = time.perf_counter()
+    simulator.run()
+    elapsed = time.perf_counter() - start
+    events = simulator.events_processed
+    return {
+        "packets": sink.received,
+        "events": events,
+        "seconds": elapsed,
+        "events_per_second": events / elapsed if elapsed > 0 else float("inf"),
+        "packets_per_second": sink.received / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def bench_engine(n_events: int, n_packets: int) -> Dict:
+    return {
+        "cancellation_heavy": _bench_cancellation_heavy(n_events),
+        "self_reschedule": {
+            "handle": _bench_self_reschedule(n_events, uncancellable=False),
+            "uncancellable": _bench_self_reschedule(n_events, uncancellable=True),
+        },
+        "port_stream": _bench_port_stream(n_packets),
+    }
+
+
+def enforce_parity(results: Dict) -> None:
+    """Abort loudly if any vectorized backend drifted from its scalar twin."""
+    failures = []
+    for row in results["xwi"]:
+        if row["max_rel_rate_diff"] > PARITY_TOLERANCE:
+            failures.append(("xwi", row["flows"], row["max_rel_rate_diff"]))
+    for scheme, rows in results["schemes"].items():
+        for row in rows:
+            if row["max_rel_rate_diff"] > PARITY_TOLERANCE:
+                failures.append((scheme, row["flows"], row["max_rel_rate_diff"]))
+    for row in results["maxmin"]:
+        if row["max_rel_rate_diff"] > PARITY_TOLERANCE:
+            failures.append(("maxmin", row["flows"], row["max_rel_rate_diff"]))
+    if failures:
+        details = ", ".join(
+            f"{name} at {flows} flows diverged by {diff:.3e}" for name, flows, diff in failures
+        )
+        raise RuntimeError(
+            f"vectorized/scalar parity violated (tolerance {PARITY_TOLERANCE:g}): {details}"
+        )
+
+
 def run(smoke: bool = False) -> Dict:
     if smoke:
-        flow_counts, xwi_iterations, maxmin_repeats, engine_events = [20, 50], 5, 3, 20_000
+        flow_counts, xwi_iterations, maxmin_repeats = [20, 50], 5, 3
+        engine_events, port_packets = 10_000, 2_000
     else:
-        flow_counts, xwi_iterations, maxmin_repeats, engine_events = [50, 200, 1000], 25, 10, 100_000
-    return {
+        flow_counts, xwi_iterations, maxmin_repeats = [50, 200, 1000], 25, 10
+        engine_events, port_packets = 100_000, 50_000
+    results = {
         "meta": {
             "smoke": smoke,
             "python": platform.python_version(),
@@ -175,9 +352,12 @@ def run(smoke: bool = False) -> Dict:
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         },
         "xwi": bench_xwi(flow_counts, xwi_iterations),
+        "schemes": bench_schemes(flow_counts, xwi_iterations),
         "maxmin": bench_maxmin(flow_counts, maxmin_repeats),
-        "engine": bench_engine(engine_events),
+        "engine": bench_engine(engine_events, port_packets),
     }
+    enforce_parity(results)
+    return results
 
 
 def main(argv: Optional[List[str]] = None) -> Dict:
@@ -198,15 +378,33 @@ def main(argv: Optional[List[str]] = None) -> Dict:
             f"vectorized {row['vectorized_seconds']:.3f}s, "
             f"speedup {row['speedup']:.1f}x, max rate diff {row['max_rel_rate_diff']:.2e}"
         )
+    for scheme, rows in results["schemes"].items():
+        for row in rows:
+            print(
+                f"{scheme} {row['flows']:>5} flows: scalar {row['scalar_seconds']:.3f}s, "
+                f"vectorized {row['vectorized_seconds']:.3f}s, "
+                f"speedup {row['speedup']:.1f}x, max rate diff {row['max_rel_rate_diff']:.2e}"
+            )
     for row in results["maxmin"]:
         print(
-            f"maxmin {row['flows']:>5} flows: speedup {row['speedup']:.1f}x "
-            f"({row['scalar_seconds']:.3f}s -> {row['vectorized_seconds']:.3f}s)"
+            f"maxmin {row['flows']:>5} flows: one-shot {row['speedup']:.1f}x, "
+            f"compiled {row['compiled_speedup']:.1f}x "
+            f"({row['scalar_seconds']:.3f}s -> {row['vectorized_seconds']:.3f}s "
+            f"-> {row['compiled_seconds']:.3f}s)"
         )
     engine = results["engine"]
     print(
-        f"engine: {engine['events']} events in {engine['seconds']:.3f}s "
-        f"({engine['events_per_second']:.0f} events/s)"
+        f"engine cancellation-heavy: {engine['cancellation_heavy']['events']} events "
+        f"({engine['cancellation_heavy']['events_per_second']:.0f} events/s)"
+    )
+    reschedule = engine["self_reschedule"]
+    print(
+        f"engine self-reschedule: handle {reschedule['handle']['events_per_second']:.0f} events/s "
+        f"-> uncancellable {reschedule['uncancellable']['events_per_second']:.0f} events/s"
+    )
+    print(
+        f"engine port stream: {engine['port_stream']['packets']} packets "
+        f"({engine['port_stream']['events_per_second']:.0f} events/s)"
     )
     print(f"wrote {args.out}")
     return results

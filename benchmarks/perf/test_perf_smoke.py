@@ -5,7 +5,11 @@ runnable; the full (unmarked) benchmark run is a manual/periodic activity:
 
     PYTHONPATH=src python benchmarks/perf/run_bench.py
 
-Deselect with ``-m "not perf_smoke"`` if even the ~1 s smoke run is too much.
+Every vectorized backend (xWI, DGD, RCP*, DCTCP, compiled max-min) gets a
+smoke case, so tier-1 exercises each scalar/vectorized pair end to end and
+the harness's own parity enforcement (``enforce_parity``) runs on every CI
+pass.  Deselect with ``-m "not perf_smoke"`` if even the ~1 s smoke run is
+too much.
 """
 
 import json
@@ -19,22 +23,62 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import run_bench
 
 
-@pytest.mark.perf_smoke
-def test_run_bench_smoke_mode(tmp_path):
-    out = tmp_path / "BENCH_fluid.json"
+@pytest.fixture(scope="module")
+def smoke_results(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_fluid.json"
     results = run_bench.main(["--smoke", "--out", str(out)])
+    return results, json.loads(out.read_text())
 
-    written = json.loads(out.read_text())
+
+@pytest.mark.perf_smoke
+def test_run_bench_smoke_mode(smoke_results):
+    results, written = smoke_results
     assert written["meta"]["smoke"] is True
     assert [row["flows"] for row in written["xwi"]] == [20, 50]
     for row in results["xwi"]:
         # Backends must agree; speed is asserted only at full scale.
-        assert row["max_rel_rate_diff"] < 1e-9
+        assert row["max_rel_rate_diff"] < run_bench.PARITY_TOLERANCE
         assert row["scalar_seconds"] > 0 and row["vectorized_seconds"] > 0
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.parametrize("scheme", sorted(run_bench.SCHEME_SIMULATORS))
+def test_smoke_covers_scheme(smoke_results, scheme):
+    """One smoke case per vectorized scheme: present, timed, parity-clean."""
+    results, written = smoke_results
+    rows = results["schemes"][scheme]
+    assert [row["flows"] for row in rows] == [20, 50]
+    for row in rows:
+        assert row["max_rel_rate_diff"] < run_bench.PARITY_TOLERANCE
+        assert row["scalar_seconds"] > 0 and row["vectorized_seconds"] > 0
+    assert written["schemes"][scheme] == rows
+
+
+@pytest.mark.perf_smoke
+def test_smoke_covers_compiled_maxmin_and_engine(smoke_results):
+    results, _ = smoke_results
     for row in results["maxmin"]:
-        assert row["speedup"] > 0
-    assert results["engine"]["events"] == 20_000
-    assert results["engine"]["pending_after"] >= 0
+        assert row["max_rel_rate_diff"] < run_bench.PARITY_TOLERANCE
+        assert row["speedup"] > 0 and row["compiled_speedup"] > 0
+    engine = results["engine"]
+    assert engine["cancellation_heavy"]["events"] == 10_000
+    assert engine["cancellation_heavy"]["pending_after"] >= 0
+    for path in ("handle", "uncancellable"):
+        assert engine["self_reschedule"][path]["events"] == 10_000
+    assert engine["port_stream"]["packets"] >= 2_000
+    assert engine["port_stream"]["events"] > 0
+
+
+@pytest.mark.perf_smoke
+def test_parity_enforcement_fails_loudly():
+    """A drifted scheme result must abort the harness, not slip into JSON."""
+    results = {
+        "xwi": [{"flows": 20, "max_rel_rate_diff": 0.0}],
+        "schemes": {"dgd": [{"flows": 20, "max_rel_rate_diff": 1e-6}]},
+        "maxmin": [],
+    }
+    with pytest.raises(RuntimeError, match="dgd at 20 flows"):
+        run_bench.enforce_parity(results)
 
 
 @pytest.mark.perf_smoke

@@ -20,8 +20,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core.utility import LogUtility, Utility
+from repro.fluid.dgd import DgdFluidSimulator
 from repro.fluid.network import FluidFlow, FluidNetwork
 from repro.fluid.oracle import solve_num
+from repro.fluid.rcp import RcpStarFluidSimulator
+from repro.fluid.xwi import XwiFluidSimulator
 from repro.workloads.poisson import FlowArrival
 
 
@@ -75,11 +78,11 @@ class SimulatorRatePolicy(RatePolicy):
     schemes with slower convergence deliver fewer bytes to short flows --
     exactly the effect Fig. 5 measures.
 
-    For large dynamic workloads, build the xWI simulator with
-    ``backend="vectorized"`` (e.g. ``lambda network:
-    XwiFluidSimulator(network, backend="vectorized")``): the compiled
-    incidence structure is invalidated only on flow arrivals/departures, so
-    the per-iteration cost between flow-set changes is pure array math.
+    For large dynamic workloads use :func:`scheme_rate_policy`, which builds
+    the simulator on the vectorized fluid backend (now available for xWI,
+    DGD and RCP* alike): the compiled incidence structure is invalidated
+    only on flow arrivals/departures, so the per-iteration cost between
+    flow-set changes is pure array math.
     """
 
     def __init__(self, simulator_factory: Callable[[FluidNetwork], object]):
@@ -100,6 +103,35 @@ class SimulatorRatePolicy(RatePolicy):
         record = simulator.step()
         self._last_rates = record.rates
         return self._last_rates
+
+
+#: Fluid control-loop simulators usable as dynamic rate policies, by the
+#: scheme names the experiments use.
+SCHEME_SIMULATORS: Dict[str, Callable] = {
+    "NUMFabric": XwiFluidSimulator,
+    "DGD": DgdFluidSimulator,
+    "RCP*": RcpStarFluidSimulator,
+}
+
+
+def scheme_rate_policy(
+    scheme: str, backend: str = "vectorized", params=None
+) -> SimulatorRatePolicy:
+    """A :class:`SimulatorRatePolicy` for a named scheme on a given backend.
+
+    ``backend`` defaults to the vectorized fluid engine (every scheme's
+    allocations match its scalar reference within 1e-9); pass
+    ``backend="scalar"`` for the reference implementation.
+    """
+    try:
+        simulator_cls = SCHEME_SIMULATORS[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; expected one of {sorted(SCHEME_SIMULATORS)}"
+        ) from None
+    return SimulatorRatePolicy(
+        lambda network: simulator_cls(network, params=params, backend=backend)
+    )
 
 
 class FlowLevelSimulation:

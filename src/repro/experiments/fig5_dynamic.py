@@ -10,20 +10,17 @@ summarized with box statistics, as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.deviation import DeviationBin, bin_by_bdp, normalized_deviation
 from repro.core.config import SimulationParameters
 from repro.experiments.dynamic_fluid import (
     FlowLevelSimulation,
     OracleRatePolicy,
-    SimulatorRatePolicy,
+    scheme_rate_policy,
 )
 from repro.experiments.registry import ExperimentResult
-from repro.fluid.dgd import DgdFluidSimulator
-from repro.fluid.rcp import RcpStarFluidSimulator
 from repro.fluid.topologies import LeafSpineFluid, leaf_spine
-from repro.fluid.xwi import XwiFluidSimulator
 from repro.workloads.distributions import (
     FlowSizeDistribution,
     enterprise_distribution,
@@ -48,17 +45,11 @@ class DeviationSettings:
         return cls(num_servers=128, num_leaves=8, num_spines=4, load=0.6, num_flows=10_000)
 
 
-_SCHEME_FACTORIES: Dict[str, Callable] = {
-    "NUMFabric": lambda network: XwiFluidSimulator(network),
-    "DGD": lambda network: DgdFluidSimulator(network),
-    "RCP*": lambda network: RcpStarFluidSimulator(network),
-}
-
-
 def _run_one_scheme(
     scheme: str,
     arrivals: List[FlowArrival],
     settings: DeviationSettings,
+    backend: str = "vectorized",
 ) -> Dict[int, float]:
     """Run the workload under one scheme; return per-flow average rates."""
     params = SimulationParameters(
@@ -76,7 +67,7 @@ def _run_one_scheme(
     if scheme == "Oracle":
         policy = OracleRatePolicy()
     else:
-        policy = SimulatorRatePolicy(_SCHEME_FACTORIES[scheme])
+        policy = scheme_rate_policy(scheme, backend=backend)
     simulation = FlowLevelSimulation(fabric.network, path_for, policy)
     completed = simulation.run(arrivals)
     return {flow.flow_id: flow.average_rate for flow in completed}
@@ -86,8 +77,14 @@ def run_deviation_experiment(
     workload: str = "websearch",
     settings: Optional[DeviationSettings] = None,
     schemes: Optional[List[str]] = None,
+    backend: str = "vectorized",
 ) -> ExperimentResult:
-    """Reproduce Fig. 5(a) (web search) or Fig. 5(b) (enterprise)."""
+    """Reproduce Fig. 5(a) (web search) or Fig. 5(b) (enterprise).
+
+    Every scheme's control loop runs on the vectorized fluid backend by
+    default (``backend="scalar"`` is the reference escape hatch), which is
+    what makes ``paper_scale()``'s 10k-flow workloads tractable.
+    """
     settings = settings or DeviationSettings()
     schemes = schemes or ["NUMFabric", "DGD", "RCP*"]
     if workload == "websearch":
@@ -109,7 +106,7 @@ def run_deviation_experiment(
     flow_sizes = {a.flow_id: float(a.size_bytes) for a in arrivals}
     bdp_bytes = SimulationParameters().bandwidth_delay_product_bytes
 
-    ideal_rates = _run_one_scheme("Oracle", arrivals, settings)
+    ideal_rates = _run_one_scheme("Oracle", arrivals, settings, backend=backend)
 
     result = ExperimentResult(
         experiment_id=f"fig5_{workload}",
@@ -117,7 +114,7 @@ def run_deviation_experiment(
         paper_reference=reference,
     )
     for scheme in schemes:
-        achieved = _run_one_scheme(scheme, arrivals, settings)
+        achieved = _run_one_scheme(scheme, arrivals, settings, backend=backend)
         deviations = {
             flow_id: normalized_deviation(achieved[flow_id], ideal)
             for flow_id, ideal in ideal_rates.items()

@@ -25,13 +25,13 @@ from repro.transports.numfabric import NumFabricScheme
 
 def _convergence_time_fluid(
     network: FluidNetwork, params: NumFabricParameters, max_iterations: int = 400,
-    backend: str = "scalar",
+    backend: str = "vectorized",
 ) -> Optional[float]:
     """Convergence time (seconds) of fluid xWI on a given network.
 
-    ``backend="vectorized"`` runs the NumPy fluid backend -- same
-    convergence results (the backends agree to ~1e-12), much faster sweeps
-    at larger flow counts.
+    The NumPy fluid backend is the default -- same convergence results (the
+    backends agree to ~1e-12), much faster sweeps at larger flow counts;
+    ``backend="scalar"`` runs the reference implementation instead.
     """
     optimal = solve_num(network).rates
     simulator = XwiFluidSimulator(network, params=params, backend=backend)
@@ -59,7 +59,7 @@ def _star_network(num_flows: int = 20, num_links: int = 6, capacity: float = 10e
 
 def run_price_interval_sensitivity(
     intervals_us: Optional[List[float]] = None,
-    backend: str = "scalar",
+    backend: str = "vectorized",
 ) -> ExperimentResult:
     """Reproduce Fig. 6(b): convergence time vs price-update interval."""
     intervals_us = intervals_us or [30, 48, 64, 96, 128]
@@ -84,7 +84,7 @@ def run_price_interval_sensitivity(
 
 def run_alpha_sensitivity(
     alphas: Optional[List[float]] = None,
-    backend: str = "scalar",
+    backend: str = "vectorized",
 ) -> ExperimentResult:
     """Reproduce Fig. 6(c): convergence time vs alpha, at 1x and 2x slowdown.
 

@@ -10,7 +10,9 @@ from repro.fluid.network import FluidFlow, FluidNetwork, FlowGroup
 from repro.fluid.maxmin import weighted_max_min
 from repro.fluid.vectorized import (
     CompiledFluidNetwork,
+    CompiledMaxMin,
     VectorizedUtilities,
+    compile_max_min,
     compile_network,
     weighted_max_min_vectorized,
 )
@@ -28,7 +30,9 @@ __all__ = [
     "weighted_max_min",
     "weighted_max_min_vectorized",
     "CompiledFluidNetwork",
+    "CompiledMaxMin",
     "VectorizedUtilities",
+    "compile_max_min",
     "compile_network",
     "solve_num",
     "solve_num_multipath",

@@ -58,7 +58,11 @@ def weighted_max_min(
         ``"scalar"`` (the reference implementation below) or
         ``"vectorized"`` (NumPy water-filling from
         :mod:`repro.fluid.vectorized`; same allocation, one to two orders of
-        magnitude faster on large flow populations).
+        magnitude faster on large flow populations).  For *repeated* solves
+        on a static topology, compile the instance once with
+        :class:`repro.fluid.vectorized.CompiledMaxMin` instead: it keeps the
+        incidence matrix across calls, so each solve skips the dict-to-array
+        rebuild that dominates one-shot vectorized calls.
 
     Returns
     -------

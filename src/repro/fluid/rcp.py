@@ -5,6 +5,18 @@ spare capacity and queue backlog.  A flow crossing links ``L(i)`` sends at
 ``(sum_l R_l^{-alpha})^{-1/alpha}`` (Eq. (16)), which reduces to
 ``min_l R_l`` as ``alpha -> inf`` (classic max-min RCP) and to the
 alpha-fair allocation at the fixed point.
+
+Two interchangeable backends drive the iteration:
+
+* ``backend="scalar"`` (default) -- the reference implementation, plain
+  Python over dicts;
+* ``backend="vectorized"`` -- the Eq. (16) rate combination and the
+  fair-rate/queue update as NumPy array operations over the compiled
+  incidence structure of :mod:`repro.fluid.vectorized` (RCP* needs no
+  utility batching: its dynamics read only paths and capacities).  Rates,
+  fair rates and queues match the scalar backend to well within the 1e-9
+  enforced by ``tests/fluid/test_scheme_backend_parity.py``; see
+  ``BENCH_fluid.json`` for the measured speedup.
 """
 
 from __future__ import annotations
@@ -12,7 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.fluid.network import FluidNetwork, FlowId, LinkId
+from repro.fluid.vectorized import CompiledFluidNetwork, VectorizedBackendMixin
 
 
 @dataclass
@@ -35,7 +50,7 @@ class RcpIterationRecord:
     queues: Dict[LinkId, float]
 
 
-class RcpStarFluidSimulator:
+class RcpStarFluidSimulator(VectorizedBackendMixin):
     """Iterates the RCP* fair-rate dynamics on a :class:`FluidNetwork`."""
 
     def __init__(
@@ -43,15 +58,18 @@ class RcpStarFluidSimulator:
         network: FluidNetwork,
         params: Optional[RcpStarFluidParameters] = None,
         initial_fraction: float = 0.1,
+        backend: str = "scalar",
     ):
         self.network = network
         self.params = params or RcpStarFluidParameters()
+        self.backend = self._check_backend(backend, "RCP*")
         self.fair_rates: Dict[LinkId, float] = {
             link: network.capacity(link) * initial_fraction for link in network.links
         }
         self.queues: Dict[LinkId, float] = {link: 0.0 for link in network.links}
         self.iteration = 0
         self.history: List[RcpIterationRecord] = []
+        self._compiled: Optional[CompiledFluidNetwork] = None
 
     def _flow_rates(self) -> Dict[FlowId, float]:
         alpha = self.params.alpha
@@ -63,7 +81,51 @@ class RcpStarFluidSimulator:
             rates[flow.flow_id] = min(rate, limit)
         return rates
 
+    def _step_vectorized(self) -> RcpIterationRecord:
+        """One RCP* interval as array operations over the compiled network."""
+        compiled = self._ensure_compiled()
+        capacities = compiled.capacities_vector()
+        fair_rates = self._link_vector(self.fair_rates)
+        params = self.params
+
+        # Host side, Eq. (16): combine the per-link fair rates along each
+        # path.  Fair rates are clamped to [capacity * 1e-6, capacity], so
+        # the power sums stay finite and positive on every non-empty path
+        # (the scalar total > 0 branch can only be false for zero flows).
+        path_caps = compiled.path_capacities(capacities)
+        totals = compiled.incidence_f.T @ fair_rates ** (-params.alpha)
+        rate_vec = path_caps.copy()  # the scalar fallback when total <= 0
+        positive = totals > 0.0
+        rate_vec[positive] = totals[positive] ** (-1.0 / params.alpha)
+        np.minimum(rate_vec, params.max_outstanding_bdp * path_caps, out=rate_vec)
+
+        # Link side, Eq. (15): integrate the backlog and scale every fair
+        # rate by its spare-capacity / queue feedback, all links at once.
+        interval, rtt = params.update_interval, params.rtt
+        load = compiled.link_load(rate_vec)
+        excess = (load - capacities) / capacities
+        queues = np.maximum(self._link_vector(self.queues) + excess * interval, 0.0)
+        spare_fraction = (capacities - load) / capacities
+        factor = 1.0 + (interval / rtt) * (
+            params.gain_a * spare_fraction - params.gain_b * queues / rtt
+        )
+        np.clip(factor, 0.5, 2.0, out=factor)
+        new_fair = np.clip(fair_rates * factor, capacities * 1e-6, capacities)
+        self._store_link_vector(self.queues, queues)
+        self._store_link_vector(self.fair_rates, new_fair)
+
+        record = RcpIterationRecord(
+            iteration=self.iteration,
+            rates=dict(zip(compiled.flow_ids, rate_vec.tolist())),
+            fair_rates=dict(self.fair_rates),
+            queues=dict(self.queues),
+        )
+        self.iteration += 1
+        return record
+
     def step(self) -> RcpIterationRecord:
+        if self.backend == "vectorized":
+            return self._step_vectorized()
         capacities = self.network.capacities
         rates = self._flow_rates()
         load = self.network.link_load(rates)
@@ -88,11 +150,18 @@ class RcpStarFluidSimulator:
             queues=dict(self.queues),
         )
         self.iteration += 1
-        self.history.append(record)
         return record
 
-    def run(self, iterations: int) -> List[RcpIterationRecord]:
-        return [self.step() for _ in range(iterations)]
+    def run(self, iterations: int, record_history: bool = True) -> List[RcpIterationRecord]:
+        """Run ``iterations`` steps; return (and optionally store) the records.
+
+        ``record_history=False`` keeps memory O(1) for long runs; direct
+        ``step()`` calls never touch the history (same contract as xWI).
+        """
+        records = [self.step() for _ in range(iterations)]
+        if record_history:
+            self.history.extend(records)
+        return records
 
     def rate_history(self) -> List[Dict[FlowId, float]]:
         return [record.rates for record in self.history]

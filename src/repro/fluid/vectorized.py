@@ -1,6 +1,7 @@
 """NumPy-vectorized fluid backend: compiled incidence structure + array math.
 
-The scalar fluid engine (:mod:`repro.fluid.maxmin`, :mod:`repro.fluid.xwi`)
+The scalar fluid engine (:mod:`repro.fluid.maxmin`, :mod:`repro.fluid.xwi`,
+:mod:`repro.fluid.dgd`, :mod:`repro.fluid.rcp`, :mod:`repro.fluid.dctcp`)
 iterates Python dicts per flow and per link, which caps the convergence and
 sensitivity experiments at toy scale.  This module compiles a
 :class:`~repro.fluid.network.FluidNetwork` snapshot into
@@ -10,12 +11,20 @@ sensitivity experiments at toy scale.  This module compiles a
 * per-flow utility parameters batched by family
   (:class:`VectorizedUtilities`),
 
-so that one xWI iteration -- weight computation (Eq. (7)), weighted max-min
-water-filling, and the price update of Eqs. (9)-(11) -- runs as a handful of
-array operations.  The arithmetic mirrors the scalar reference operation for
-operation (same clamping floors, same formulas per utility family), so both
-backends agree to ~1e-12 relative; the parity suite in
-``tests/fluid/test_vectorized_parity.py`` enforces 1e-9.
+so that one control-loop iteration of *any* fluid scheme -- xWI's weight
+computation (Eq. (7)), water-filling and price update of Eqs. (9)-(11), but
+equally DGD's price dynamics (Eq. (14)), RCP*'s fair-rate dynamics
+(Eqs. (15)-(16)) and DCTCP's per-RTT window dynamics -- runs as a handful
+of array operations.  The shared building blocks are the path-price /
+link-load incidence products, the per-flow narrowest-link capacities and
+the family-batched utility evaluations; each simulator adds only its own
+elementwise state update on top.  :class:`VectorizedBackendMixin` carries
+the compile-on-churn logic every ``backend="vectorized"`` simulator uses.
+The arithmetic mirrors the scalar reference operation for operation (same
+clamping floors, same formulas per utility family), so both backends agree
+to ~1e-12 relative; the parity suites in
+``tests/fluid/test_vectorized_parity.py`` and
+``tests/fluid/test_scheme_backend_parity.py`` enforce 1e-9.
 
 The compiled snapshot is invalidated by
 :attr:`FluidNetwork.topology_version`, which moves only on flow/group
@@ -23,15 +32,22 @@ arrivals and departures: dynamic scenarios recompile per event, not per
 iteration, and capacity changes (Fig. 10) are picked up without recompiling
 because capacities are re-read each iteration.
 
+For repeated weighted max-min solves on a static topology (many weight
+vectors, one flow set), :class:`CompiledMaxMin` keeps the compiled
+incidence across calls so each solve is pure water-filling, skipping the
+dict-to-array rebuild that dominates one-shot
+:func:`weighted_max_min_vectorized` calls.
+
 Measured on the ``benchmarks/perf`` harness (leaf-spine topology, mixed
-utility families), the vectorized xWI backend runs ~1.5x faster than the
-scalar one at 50 flows, ~4x at 200 and ~13x at 1000; see
-``BENCH_fluid.json`` at the repository root for the current numbers.
+utility families), the vectorized backends run several times faster than
+their scalar references at 200 flows and an order of magnitude faster at
+1000; see ``BENCH_fluid.json`` at the repository root for the current
+numbers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -304,6 +320,166 @@ def compile_network(network: FluidNetwork) -> CompiledFluidNetwork:
     return CompiledFluidNetwork(network)
 
 
+class VectorizedBackendMixin:
+    """Compile-on-churn bookkeeping shared by every vectorized simulator.
+
+    A simulator mixes this in, sets ``self._compiled = None`` in its
+    constructor and calls :meth:`_ensure_compiled` at the top of each
+    vectorized step: the compiled snapshot is rebuilt only when the
+    network's flow/group set (or a flow's utility binding) changed, and
+    :meth:`_on_recompile` gives the simulator a hook to realign any
+    per-flow state arrays (e.g. DCTCP's windows) with the new flow order.
+    """
+
+    network: FluidNetwork
+    _compiled: Optional[CompiledFluidNetwork]
+
+    @staticmethod
+    def _check_backend(backend: str, scheme: str) -> str:
+        if backend not in ("scalar", "vectorized"):
+            raise ValueError(f"unknown {scheme} backend {backend!r}")
+        return backend
+
+    def _ensure_compiled(self) -> CompiledFluidNetwork:
+        compiled = self._compiled
+        if compiled is None or not compiled.is_current():
+            compiled = self._compiled = compile_network(self.network)
+            self._on_recompile(compiled)
+        return compiled
+
+    def _on_recompile(self, compiled: CompiledFluidNetwork) -> None:
+        """Called right after a recompile; default is no extra state."""
+
+    def _link_vector(self, values: Mapping[LinkId, float]) -> np.ndarray:
+        """Per-link dict state -> array in the compiled link order."""
+        link_ids = self._compiled.link_ids
+        return np.fromiter(
+            (values.get(link, 0.0) for link in link_ids), dtype=float, count=len(link_ids)
+        )
+
+    def _store_link_vector(
+        self, target: Dict[LinkId, float], vector: np.ndarray
+    ) -> None:
+        """Write an array back into the simulator's per-link dict state."""
+        for link, value in zip(self._compiled.link_ids, vector.tolist()):
+            target[link] = value
+
+
+class CompiledMaxMin:
+    """Weighted max-min solver compiled once for a fixed path/link set.
+
+    One-shot :func:`weighted_max_min_vectorized` calls rebuild the link x
+    flow incidence matrix from dicts on every invocation, which dominates
+    the solve at large flow counts (the ROADMAP's ~2.5x-at-1000-flows
+    ceiling).  When the topology is static and only the weights change --
+    the xWI inner loop, parameter sweeps, repeated oracle probes -- compile
+    the instance once and call :meth:`solve` per weight vector: each solve
+    is then pure water-filling (plus an O(flows) weight gather), ~an order
+    of magnitude faster than the scalar reference at 1000 flows (see
+    ``BENCH_fluid.json``).
+
+    Capacities are frozen at compile time by default; pass ``capacities=``
+    to :meth:`solve` to override per call (same link set, e.g. Fig. 10's
+    capacity steps) without recompiling.
+    """
+
+    __slots__ = ("flow_ids", "link_ids", "incidence", "incidence_f", "_flow_index",
+                 "_capacities", "_link_index")
+
+    def __init__(
+        self,
+        paths: Mapping[FlowId, Sequence[LinkId]],
+        capacities: Mapping[LinkId, float],
+    ):
+        # Reuse the scalar entry point's validation (empty/duplicate-link
+        # paths, unknown links) so compiled and one-shot calls fail alike.
+        from repro.fluid.maxmin import _validate_instance
+
+        self.flow_ids: List[FlowId] = _validate_instance(
+            {flow_id: 1.0 for flow_id in paths}, paths, capacities
+        )
+        self.link_ids: List[LinkId] = list(capacities)
+        self._link_index = {link: i for i, link in enumerate(self.link_ids)}
+        self._flow_index = {flow_id: j for j, flow_id in enumerate(self.flow_ids)}
+        incidence = np.zeros((len(self.link_ids), len(self.flow_ids)), dtype=bool)
+        for j, flow_id in enumerate(self.flow_ids):
+            for link in paths[flow_id]:
+                incidence[self._link_index[link], j] = True
+        self.incidence = incidence
+        self.incidence_f = incidence.astype(float)
+        self._capacities = np.fromiter(
+            (capacities[link] for link in self.link_ids),
+            dtype=float,
+            count=len(self.link_ids),
+        )
+
+    @classmethod
+    def from_network(cls, network: FluidNetwork) -> "CompiledMaxMin":
+        """Compile the current flow set of a :class:`FluidNetwork`."""
+        return cls(
+            {flow.flow_id: flow.path for flow in network.flows}, network.capacities
+        )
+
+    def capacities_vector(self) -> np.ndarray:
+        """The compile-time capacities in compiled link order (a copy)."""
+        return self._capacities.copy()
+
+    def solve(
+        self,
+        weights: Mapping[FlowId, float],
+        capacities: Optional[Mapping[LinkId, float]] = None,
+    ) -> Dict[FlowId, float]:
+        """Weighted max-min rates for one weight vector on the compiled paths.
+
+        Validates the weights exactly like :func:`weighted_max_min` (same
+        flow-id cover, positive weights); ``capacities`` optionally
+        overrides the compile-time capacities for this call only.
+        """
+        if len(weights) != len(self.flow_ids) or any(
+            flow_id not in self._flow_index for flow_id in weights
+        ):
+            raise ValueError("weights and paths must cover the same flow ids")
+        weight_vec = np.fromiter(
+            (weights[flow_id] for flow_id in self.flow_ids),
+            dtype=float,
+            count=len(self.flow_ids),
+        )
+        if weight_vec.size and weight_vec.min() <= 0.0:
+            bad = self.flow_ids[int(np.argmin(weight_vec))]
+            raise ValueError(f"flow {bad!r} must have a positive weight")
+        rates = self.solve_array(weight_vec, self._capacity_vector(capacities))
+        return dict(zip(self.flow_ids, rates.tolist()))
+
+    def solve_array(
+        self, weight_vec: np.ndarray, capacity_vec: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Zero-overhead solve: weights in, rates out, both in compiled order."""
+        return waterfill_arrays(
+            self.incidence,
+            self.incidence_f,
+            weight_vec,
+            self._capacities if capacity_vec is None else capacity_vec,
+        )
+
+    def _capacity_vector(
+        self, capacities: Optional[Mapping[LinkId, float]]
+    ) -> Optional[np.ndarray]:
+        if capacities is None:
+            return None
+        return np.fromiter(
+            (capacities[link] for link in self.link_ids),
+            dtype=float,
+            count=len(self.link_ids),
+        )
+
+
+def compile_max_min(
+    paths: Mapping[FlowId, Sequence[LinkId]], capacities: Mapping[LinkId, float]
+) -> CompiledMaxMin:
+    """Compile a path/link set for repeated weighted max-min solves."""
+    return CompiledMaxMin(paths, capacities)
+
+
 def waterfill_arrays(
     incidence: np.ndarray,
     incidence_f: np.ndarray,
@@ -355,26 +531,15 @@ def weighted_max_min_vectorized(
     paths: Mapping[FlowId, Sequence[LinkId]],
     capacities: Mapping[LinkId, float],
 ) -> Dict[FlowId, float]:
-    """Dict-in / dict-out wrapper around :func:`waterfill_arrays`.
+    """One-shot dict-in / dict-out vectorized weighted max-min.
 
-    Validates its input exactly like the scalar reference (same errors for
-    empty/duplicate-link paths, non-positive weights, unknown links), so
-    both ``weighted_max_min(..., backend="vectorized")`` and a direct call
-    are safe entry points.
+    A compile-and-solve over :class:`CompiledMaxMin`, so validation (same
+    errors as the scalar reference for empty/duplicate-link paths,
+    non-positive weights, unknown links, flow-id mismatches) and the
+    incidence build live in exactly one place.  For repeated solves on the
+    same paths, compile once and reuse the :class:`CompiledMaxMin` instead.
     """
-    from repro.fluid.maxmin import _validate_instance
-
-    flow_ids = _validate_instance(weights, paths, capacities)
-    link_ids = list(capacities)
-    link_index = {link: i for i, link in enumerate(link_ids)}
-    incidence = np.zeros((len(link_ids), len(flow_ids)), dtype=bool)
-    for j, flow_id in enumerate(flow_ids):
-        for link in paths[flow_id]:
-            incidence[link_index[link], j] = True
-    weight_vec = np.fromiter((weights[f] for f in flow_ids), dtype=float, count=len(flow_ids))
-    capacity_vec = np.fromiter((capacities[l] for l in link_ids), dtype=float, count=len(link_ids))
-    rates = waterfill_arrays(incidence, incidence.astype(float), weight_vec, capacity_vec)
-    return dict(zip(flow_ids, rates.tolist()))
+    return CompiledMaxMin(paths, capacities).solve(weights)
 
 
 def price_update_arrays(

@@ -36,7 +36,7 @@ from repro.fluid.maxmin import weighted_max_min
 from repro.fluid.network import FluidNetwork, FlowId, LinkId
 from repro.fluid.vectorized import (
     CompiledFluidNetwork,
-    compile_network,
+    VectorizedBackendMixin,
     price_update_arrays,
     waterfill_arrays,
 )
@@ -56,7 +56,7 @@ class XwiIterationRecord:
     weights: Dict[FlowId, float]
 
 
-class XwiFluidSimulator:
+class XwiFluidSimulator(VectorizedBackendMixin):
     """Iterates the xWI dynamical system on a :class:`FluidNetwork`.
 
     The simulator keeps per-link prices across calls, so flow arrivals and
@@ -77,11 +77,9 @@ class XwiFluidSimulator:
         initial_price: float = 0.0,
         backend: str = "scalar",
     ):
-        if backend not in ("scalar", "vectorized"):
-            raise ValueError(f"unknown xWI backend {backend!r}")
         self.network = network
         self.params = params or NumFabricParameters()
-        self.backend = backend
+        self.backend = self._check_backend(backend, "xWI")
         self.prices: Dict[LinkId, float] = {link: initial_price for link in network.links}
         self.iteration = 0
         self.last_rates: Dict[FlowId, float] = {}
@@ -135,21 +133,11 @@ class XwiFluidSimulator:
             return group.utility.marginal(aggregate)
         return flow.utility.marginal(rates.get(flow.flow_id, 0.0))
 
-    def _ensure_compiled(self) -> CompiledFluidNetwork:
-        if self._compiled is None or not self._compiled.is_current():
-            self._compiled = compile_network(self.network)
-        return self._compiled
-
     def _step_vectorized(self) -> XwiIterationRecord:
         """One xWI iteration as array operations over the compiled network."""
         compiled = self._ensure_compiled()
-        n_links = len(compiled.link_ids)
         capacities = compiled.capacities_vector()
-        prices = np.fromiter(
-            (self.prices.get(link, 0.0) for link in compiled.link_ids),
-            dtype=float,
-            count=n_links,
-        )
+        prices = self._link_vector(self.prices)
 
         # Host side, Eq. (7): weights from path prices, clipped to the
         # narrowest-link capacity.  Multipath group members take the group
@@ -182,8 +170,7 @@ class XwiFluidSimulator:
         with np.errstate(invalid="ignore"):
             utilizations = np.minimum(compiled.link_load(rate_vec) / capacities, 1.0)
         new_prices = price_update_arrays(prices, min_residuals, utilizations, self.params)
-        for i, link in enumerate(compiled.link_ids):
-            self.prices[link] = float(new_prices[i])
+        self._store_link_vector(self.prices, new_prices)
 
         record = XwiIterationRecord(
             iteration=self.iteration,

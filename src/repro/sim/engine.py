@@ -8,6 +8,14 @@ Cancellation is lazy (the heap entry stays until popped), but the scheduler
 keeps an O(1) live-event count and compacts the heap whenever more than
 half of it is cancelled entries, so cancellation-heavy workloads (e.g.
 retransmission timers) cannot bloat the queue or slow the pop path.
+
+Hot paths that never cancel their events (port serialization and
+propagation -- the bulk of all events in a packet simulation) should use
+:meth:`Simulator.schedule_uncancellable`: every entry shares one immortal
+sentinel handle, so the per-event :class:`EventHandle` allocation
+disappears entirely (a free-list degenerated to a single reusable object).
+``benchmarks/perf/run_bench.py`` measures both scheduling paths
+back-to-back; see ``BENCH_fluid.json`` for the current numbers.
 """
 
 from __future__ import annotations
@@ -40,6 +48,13 @@ class EventHandle:
             scheduler._on_cancel()
 
 
+# Shared sentinel handle for schedule_uncancellable: never cancelled, never
+# handed out, so one immortal instance can stand in for every fire-and-forget
+# event (the "free-list" for handles that would otherwise be allocated and
+# discarded once per event).
+_FIRE_AND_FORGET = EventHandle(0.0)
+
+
 class Simulator:
     """A deterministic discrete-event scheduler with a floating-point clock."""
 
@@ -68,7 +83,26 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        handle = EventHandle(time, self)
+        heapq.heappush(self._queue, (time, next(self._sequence), handle, callback, args))
+        return handle
+
+    def schedule_uncancellable(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule an event that can never be cancelled; returns no handle.
+
+        The hot-path variant of :meth:`schedule` for fire-and-forget events
+        (port serialization/propagation): all entries share one immortal
+        sentinel handle, skipping the per-event :class:`EventHandle`
+        allocation.  Timing, determinism and tie-breaking are identical to
+        :meth:`schedule`.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        time = self._now + delay
+        heapq.heappush(
+            self._queue, (time, next(self._sequence), _FIRE_AND_FORGET, callback, args)
+        )
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at an absolute simulation time."""
@@ -88,8 +122,12 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Purge cancelled entries and rebuild the heap in O(live events)."""
-        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        """Purge cancelled entries and rebuild the heap in O(live events).
+
+        Mutates the queue in place (slice assignment) so local references to
+        it -- the run loop keeps one -- survive a mid-callback compaction.
+        """
+        self._queue[:] = [entry for entry in self._queue if not entry[2].cancelled]
         heapq.heapify(self._queue)
         self._cancelled_pending = 0
 
@@ -100,13 +138,17 @@ class Simulator:
         Events scheduled exactly at ``until`` are still processed; later ones
         are left in the queue, so the simulation can be resumed.
         """
+        # Local bindings shave attribute lookups off the per-event cost;
+        # _compact() mutates the queue in place, so the reference stays valid.
+        queue = self._queue
+        heappop = heapq.heappop
         processed = 0
-        while self._queue:
-            time, _, handle, callback, args = self._queue[0]
+        while queue:
+            time, _, handle, callback, args = queue[0]
             if until is not None and time > until:
                 self._now = until
                 return
-            heapq.heappop(self._queue)
+            heappop(queue)
             if handle.cancelled:
                 self._cancelled_pending -= 1
                 continue

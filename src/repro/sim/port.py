@@ -106,14 +106,18 @@ class OutputPort:
         for controller in self.controllers:
             controller.on_dequeue(packet, now)
         transmission_time = packet.size_bytes * 8.0 / self.rate_bps
-        self.simulator.schedule(transmission_time, self._finish_transmission, packet)
+        # Serialization and propagation events are never cancelled, so both
+        # go through the allocation-free fire-and-forget scheduling path --
+        # back-to-back transmissions during a busy period cost two heap
+        # pushes per packet and no EventHandle churn.
+        self.simulator.schedule_uncancellable(transmission_time, self._finish_transmission, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
         self.bytes_transmitted += packet.size_bytes
         self.packets_transmitted += 1
         # The packet propagates to the peer while the port moves on to the
         # next queued packet.
-        self.simulator.schedule(self.propagation_delay, self.peer.receive, packet)
+        self.simulator.schedule_uncancellable(self.propagation_delay, self.peer.receive, packet)
         self._start_transmission()
 
     def utilization(self, elapsed: float) -> float:
