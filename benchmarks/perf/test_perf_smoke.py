@@ -55,6 +55,33 @@ def test_smoke_covers_scheme(smoke_results, scheme):
 
 
 @pytest.mark.perf_smoke
+def test_smoke_covers_oracle(smoke_results):
+    """The Oracle pair is present, timed, and parity-clean at its gate."""
+    results, written = smoke_results
+    rows = results["oracle"]
+    assert [row["flows"] for row in rows] == [20, 50]
+    for row in rows:
+        assert row["max_rel_rate_diff"] < run_bench.ORACLE_PARITY_TOLERANCE
+        assert row["scalar_seconds"] > 0 and row["vectorized_seconds"] > 0
+    assert written["oracle"] == rows
+
+
+@pytest.mark.perf_smoke
+def test_smoke_covers_flow_level(smoke_results):
+    """Dict vs array flow-level stepping: identical completions, both timed."""
+    results, written = smoke_results
+    rows = results["flow_level"]
+    assert [row["flows"] for row in rows] == [100]
+    for row in rows:
+        assert row["completed"] == row["flows"]
+        assert row["max_rel_fct_diff"] < run_bench.PARITY_TOLERANCE
+        assert row["dict_seconds"] > 0 and row["array_seconds"] > 0
+    assert written["flow_level"] == rows
+    # The fig5 paper-scale run is full-mode only.
+    assert "fig5_paper_scale" not in written
+
+
+@pytest.mark.perf_smoke
 def test_smoke_covers_compiled_maxmin_and_engine(smoke_results):
     results, _ = smoke_results
     for row in results["maxmin"]:
@@ -76,9 +103,33 @@ def test_parity_enforcement_fails_loudly():
         "xwi": [{"flows": 20, "max_rel_rate_diff": 0.0}],
         "schemes": {"dgd": [{"flows": 20, "max_rel_rate_diff": 1e-6}]},
         "maxmin": [],
+        "oracle": [],
+        "flow_level": [],
     }
     with pytest.raises(RuntimeError, match="dgd at 20 flows"):
         run_bench.enforce_parity(results)
+
+
+@pytest.mark.perf_smoke
+def test_parity_enforcement_covers_oracle_and_flow_level():
+    base = {
+        "xwi": [],
+        "schemes": {},
+        "maxmin": [],
+        "oracle": [{"flows": 50, "max_rel_rate_diff": 1e-3}],
+        "flow_level": [],
+    }
+    with pytest.raises(RuntimeError, match="oracle at 50 flows"):
+        run_bench.enforce_parity(base)
+    base = {
+        "xwi": [],
+        "schemes": {},
+        "maxmin": [],
+        "oracle": [],
+        "flow_level": [{"flows": 100, "max_rel_fct_diff": 1e-6}],
+    }
+    with pytest.raises(RuntimeError, match="flow_level at 100 flows"):
+        run_bench.enforce_parity(base)
 
 
 @pytest.mark.perf_smoke

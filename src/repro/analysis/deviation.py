@@ -14,7 +14,9 @@ bin is summarized with box-plot statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.analysis.stats import BoxStats
 
@@ -71,18 +73,20 @@ def bin_by_bdp(
     """
     if bdp_bytes <= 0:
         raise ValueError("bdp_bytes must be positive")
-    grouped: Dict[Tuple[float, float], List[float]] = {tuple(b): [] for b in bins}
-    for flow_id, deviation in deviations.items():
-        if flow_id not in flow_sizes:
-            continue
-        size_in_bdp = flow_sizes[flow_id] / bdp_bytes
-        for low, high in bins:
-            if low <= size_in_bdp < high:
-                grouped[(low, high)].append(deviation)
-                break
+    known = [
+        (flow_sizes[flow_id], deviation)
+        for flow_id, deviation in deviations.items()
+        if flow_id in flow_sizes
+    ]
+    sizes_in_bdp = np.array([size for size, _ in known], dtype=float) / bdp_bytes
+    values = np.array([deviation for _, deviation in known], dtype=float)
+    # Each flow lands in the first bin that contains it (bins may overlap).
+    assigned = np.zeros(sizes_in_bdp.shape, dtype=bool)
     result = []
     for low, high in bins:
-        values = grouped[(low, high)]
-        stats = BoxStats.from_values(values) if values else None
+        member = ~assigned & (low <= sizes_in_bdp) & (sizes_in_bdp < high)
+        assigned |= member
+        selected = values[member]
+        stats = BoxStats.from_values(selected.tolist()) if selected.size else None
         result.append(DeviationBin(low_bdp=low, high_bdp=high, stats=stats))
     return result

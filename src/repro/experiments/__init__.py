@@ -18,7 +18,7 @@ from repro.experiments.fig6_sensitivity import (
     run_delay_slack_sensitivity,
     run_price_interval_sensitivity,
 )
-from repro.experiments.fig7_fct import run_fct_comparison
+from repro.experiments.fig7_fct import run_fct_comparison, run_fct_flow_level
 from repro.experiments.fig8_resource_pooling import run_resource_pooling
 from repro.experiments.fig9_bwfunctions import run_bandwidth_function_sweep
 from repro.experiments.fig10_bwfunc_pooling import run_bwfunction_pooling_timeseries
@@ -35,6 +35,7 @@ __all__ = [
     "run_price_interval_sensitivity",
     "run_alpha_sensitivity",
     "run_fct_comparison",
+    "run_fct_flow_level",
     "run_resource_pooling",
     "run_bandwidth_function_sweep",
     "run_bwfunction_pooling_timeseries",

@@ -1,8 +1,8 @@
-"""Flow-level fluid simulation of dynamic workloads (used by Fig. 5).
+"""Flow-level fluid simulation of dynamic workloads (used by Fig. 5/7).
 
-Flows arrive (Poisson), carry a finite number of bytes and depart when those
-bytes have been delivered.  Between flow-set changes, rates evolve according
-to a *rate policy*:
+Flows arrive (Poisson or semi-dynamic), carry a finite number of bytes and
+depart when those bytes have been delivered.  Between flow-set changes,
+rates evolve according to a *rate policy*:
 
 * :class:`OracleRatePolicy` -- recompute the optimal NUM allocation whenever
   the flow set changes (the paper's "ideal" reference);
@@ -11,25 +11,48 @@ to a *rate policy*:
   scheme's actual convergence behaviour.
 
 The result is, per flow, its completion time and therefore its average rate
-(size / FCT), which Fig. 5 compares across schemes.
+(size / FCT), which Fig. 5 compares across schemes and Fig. 7's flow-level
+mode turns into normalized FCTs.
+
+Time advances in fixed steps of ``step_interval`` (the price-update
+interval): arrivals are admitted at the first step boundary at or after
+their arrival time, mirroring how the real system only applies new rates
+once per control-loop update.  Flow completion times are therefore
+quantized to the step grid; completion-time accounting still uses the exact
+arrival time, so a flow's FCT includes the sub-step admission latency.
+
+Two interchangeable backends drive :class:`FlowLevelSimulation`:
+
+* ``backend="array"`` (default) -- remaining bytes / start times / sizes
+  live in NumPy arrays indexed by a compact flow-slot map; each step is one
+  vectorized delivered-bytes update and completions are detected with a
+  single comparison, with slots compacted per completion batch (never per
+  flow).  This is what lets Fig. 5 run the paper's 10k-flow workloads.
+* ``backend="dict"`` -- the original per-flow dict loop, kept as the parity
+  reference; ``tests/experiments/test_flow_level_parity.py`` pins the two
+  backends to identical completion records.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
+
+import numpy as np
 
 from repro.core.utility import LogUtility, Utility
 from repro.fluid.dgd import DgdFluidSimulator
 from repro.fluid.network import FluidFlow, FluidNetwork
-from repro.fluid.oracle import solve_num
+from repro.fluid.oracle import estimate_price_scale, solve_num
 from repro.fluid.rcp import RcpStarFluidSimulator
 from repro.fluid.xwi import XwiFluidSimulator
 from repro.workloads.poisson import FlowArrival
 
 
-@dataclass
+@dataclass(slots=True)
 class CompletedFlow:
+    """Completion record of one finished flow."""
+
     flow_id: int
     size_bytes: int
     start_time: float
@@ -48,26 +71,116 @@ class RatePolicy:
     """Produces the current rate allocation for the active flows."""
 
     def on_flow_set_changed(self, network: FluidNetwork) -> None:
-        """Called after any arrival or departure."""
+        """Called after any arrival or departure batch."""
 
     def rates(self, network: FluidNetwork, dt: float) -> Dict[object, float]:
         """Return the rates to apply for the next ``dt`` seconds."""
         raise NotImplementedError
 
+    def rates_epoch(self) -> Optional[int]:
+        """Monotonic counter identifying the current allocation, or ``None``.
 
-class OracleRatePolicy(RatePolicy):
-    """Instantaneously optimal rates, recomputed on every flow-set change."""
+        The array backend gathers the policy's rate dict into a vector once
+        per allocation *epoch* instead of once per step.  A policy that can
+        tell when its allocation changed returns a counter it bumps on every
+        change; the default ``None`` opts out of caching (always correct,
+        one dict pass per step), so policies that mutate and re-return the
+        same dict are never served a stale vector.
+        """
+        return None
 
-    def __init__(self):
+
+class EqualSharePolicy(RatePolicy):
+    """Reference policy: an equal split of a single bottleneck's capacity.
+
+    The simplest useful allocation -- used by the perf harness and the
+    parity tests as a constant-work baseline, and handy as a template for
+    custom policies (note the epoch bump per allocation change).
+    """
+
+    def __init__(self, capacity: float):
+        self.capacity = capacity
         self._cached: Optional[Dict[object, float]] = None
+        self._epoch = 0
 
     def on_flow_set_changed(self, network: FluidNetwork) -> None:
         self._cached = None
+        self._epoch += 1
 
     def rates(self, network: FluidNetwork, dt: float) -> Dict[object, float]:
         if self._cached is None:
-            self._cached = solve_num(network).rates if network.flows else {}
+            flows = network.flows
+            share = self.capacity / len(flows) if flows else 0.0
+            self._cached = {flow.flow_id: share for flow in flows}
         return self._cached
+
+    def rates_epoch(self) -> Optional[int]:
+        return self._epoch
+
+
+class OracleRatePolicy(RatePolicy):
+    """Instantaneously optimal rates, recomputed on every flow-set change.
+
+    Tuned for the dynamic experiments' solve-per-change pattern:
+
+    * prices from the previous solve warm-start the next one (the flow set
+      changes by a handful of flows per step, so the dual moves little);
+    * the price-scale conditioning is cached and refreshed only every
+      ``scale_refresh_interval`` flow-set changes (it only conditions the
+      solver, so staleness cannot change the optimum);
+    * the max-min safeguard defaults to off -- it exists for very steep
+      utility mixes, and for the well-conditioned log/moderate-alpha
+      workloads of Fig. 5 it costs more than the solve itself.  Pass
+      ``safeguard=True`` when using steep utilities (e.g. FCT with a small
+      epsilon).
+    """
+
+    def __init__(
+        self,
+        backend: str = "vectorized",
+        warm_start: bool = True,
+        scale_refresh_interval: int = 32,
+        safeguard: bool = False,
+        tolerance: float = 1e-9,
+    ):
+        self.backend = backend
+        self.warm_start = warm_start
+        self.scale_refresh_interval = scale_refresh_interval
+        self.safeguard = safeguard
+        self.tolerance = tolerance
+        self._cached: Optional[Dict[object, float]] = None
+        self._prices: Optional[Dict[object, float]] = None
+        self._scale: Optional[Dict[object, float]] = None
+        self._changes_since_scale = 0
+        self._epoch = 0
+
+    def on_flow_set_changed(self, network: FluidNetwork) -> None:
+        self._cached = None
+        self._changes_since_scale += 1
+        self._epoch += 1
+
+    def rates(self, network: FluidNetwork, dt: float) -> Dict[object, float]:
+        if self._cached is None:
+            if not network.flows:
+                self._cached = {}
+                return self._cached
+            if self._scale is None or self._changes_since_scale >= self.scale_refresh_interval:
+                self._scale = estimate_price_scale(network, backend=self.backend)
+                self._changes_since_scale = 0
+            result = solve_num(
+                network,
+                tolerance=self.tolerance,
+                initial_prices=self._prices if self.warm_start else None,
+                backend=self.backend,
+                price_scale=self._scale,
+                safeguard=self.safeguard,
+            )
+            self._prices = result.prices
+            self._cached = result.rates
+        return self._cached
+
+    def rates_epoch(self) -> Optional[int]:
+        return self._epoch
 
 
 class SimulatorRatePolicy(RatePolicy):
@@ -89,6 +202,7 @@ class SimulatorRatePolicy(RatePolicy):
         self.simulator_factory = simulator_factory
         self._simulator = None
         self._last_rates: Dict[object, float] = {}
+        self._epoch = 0
 
     def _ensure(self, network: FluidNetwork):
         if self._simulator is None:
@@ -102,7 +216,11 @@ class SimulatorRatePolicy(RatePolicy):
         simulator = self._ensure(network)
         record = simulator.step()
         self._last_rates = record.rates
+        self._epoch += 1  # the control loop moves the allocation every step
         return self._last_rates
+
+    def rates_epoch(self) -> Optional[int]:
+        return self._epoch
 
 
 #: Fluid control-loop simulators usable as dynamic rate policies, by the
@@ -144,20 +262,71 @@ class FlowLevelSimulation:
         rate_policy: RatePolicy,
         step_interval: float = 30e-6,
         utility_for_arrival: Optional[Callable[[FlowArrival], Utility]] = None,
+        backend: str = "array",
     ):
+        if backend not in ("array", "dict"):
+            raise ValueError(f"unknown flow-level backend {backend!r}")
         self.network = network
         self.path_for_arrival = path_for_arrival
         self.rate_policy = rate_policy
         self.step_interval = step_interval
         self.utility_for_arrival = utility_for_arrival or (lambda arrival: LogUtility())
+        self.backend = backend
         self.completed: List[CompletedFlow] = []
+        # dict-backend state (the parity reference).
         self._remaining_bytes: Dict[int, float] = {}
         self._start_times: Dict[int, float] = {}
         self._sizes: Dict[int, int] = {}
+        # array-backend state: one compact slot per active flow, in admission
+        # order; the arrays are over-allocated and compacted in batches.
+        self._slots: List[int] = []
+        self._count = 0
+        self._remaining = np.empty(0, dtype=float)
+        self._starts = np.empty(0, dtype=float)
+        self._sizes_arr = np.empty(0, dtype=np.int64)
+        # Rate-vector cache: valid while the policy reports the same
+        # allocation epoch and the slot layout is unchanged.  Policies whose
+        # ``rates_epoch`` returns None -- or duck-typed policies without the
+        # method at all -- are gathered every step.
+        self._rate_cache: Optional[np.ndarray] = None
+        self._rate_cache_epoch: Optional[int] = None
+        self._rates_epoch: Callable[[], Optional[int]] = getattr(
+            rate_policy, "rates_epoch", lambda: None
+        )
 
-    def run(self, arrivals: List[FlowArrival], max_time: Optional[float] = None) -> List[CompletedFlow]:
-        """Process all arrivals and run until every admitted flow completes."""
+    @property
+    def active_flow_count(self) -> int:
+        """Number of admitted flows that have not yet completed."""
+        if self.backend == "dict":
+            return len(self._remaining_bytes)
+        return self._count
+
+    def run(
+        self, arrivals: List[FlowArrival], max_time: Optional[float] = None
+    ) -> List[CompletedFlow]:
+        """Process all arrivals and run until every admitted flow completes.
+
+        ``max_time`` truncates the simulation: flows still in flight at the
+        horizon never complete (and stay in the network).
+        """
         pending = sorted(arrivals, key=lambda a: a.time)
+        if self.backend == "dict":
+            return self._run_dict(pending, max_time)
+        return self._run_array(pending, max_time)
+
+    # -- shared admission helper ------------------------------------------
+
+    def _admit(self, arrival: FlowArrival) -> None:
+        path = self.path_for_arrival(arrival)
+        self.network.add_flow(
+            FluidFlow(arrival.flow_id, path, self.utility_for_arrival(arrival))
+        )
+
+    # -- dict backend (parity reference) ----------------------------------
+
+    def _run_dict(
+        self, pending: List[FlowArrival], max_time: Optional[float]
+    ) -> List[CompletedFlow]:
         time = 0.0
         index = 0
         horizon = max_time if max_time is not None else float("inf")
@@ -167,10 +336,7 @@ class FlowLevelSimulation:
             changed = False
             while index < len(pending) and pending[index].time <= time:
                 arrival = pending[index]
-                path = self.path_for_arrival(arrival)
-                self.network.add_flow(
-                    FluidFlow(arrival.flow_id, path, self.utility_for_arrival(arrival))
-                )
+                self._admit(arrival)
                 self._remaining_bytes[arrival.flow_id] = float(arrival.size_bytes)
                 self._start_times[arrival.flow_id] = arrival.time
                 self._sizes[arrival.flow_id] = arrival.size_bytes
@@ -186,11 +352,8 @@ class FlowLevelSimulation:
                     continue
                 break
 
-            rates = self.rate_policy.rates(self.network, self.step_interval)
-            # Advance time by one step (or less, if an arrival happens sooner).
             dt = self.step_interval
-            if index < len(pending):
-                dt = min(dt, max(pending[index].time - time, 1e-9))
+            rates = self.rate_policy.rates(self.network, dt)
             finished: List[int] = []
             for flow_id, remaining in self._remaining_bytes.items():
                 rate = rates.get(flow_id, 0.0)
@@ -213,6 +376,105 @@ class FlowLevelSimulation:
                     )
                     del self._remaining_bytes[flow_id]
                     self.network.remove_flow(flow_id)
+                self.rate_policy.on_flow_set_changed(self.network)
+
+        return self.completed
+
+    # -- array backend -----------------------------------------------------
+
+    def _grow(self, extra: int) -> None:
+        needed = self._count + extra
+        if needed <= len(self._remaining):
+            return
+        capacity = max(needed, 2 * len(self._remaining), 16)
+        for name in ("_remaining", "_starts", "_sizes_arr"):
+            old = getattr(self, name)
+            fresh = np.empty(capacity, dtype=old.dtype)
+            fresh[: self._count] = old[: self._count]
+            setattr(self, name, fresh)
+
+    def _append_flow(self, arrival: FlowArrival) -> None:
+        self._grow(1)
+        slot = self._count
+        self._remaining[slot] = float(arrival.size_bytes)
+        self._starts[slot] = arrival.time
+        self._sizes_arr[slot] = arrival.size_bytes
+        self._slots.append(arrival.flow_id)
+        self._count += 1
+        self._rate_cache = self._rate_cache_epoch = None
+
+    def _compact(self, keep: np.ndarray) -> None:
+        """Drop finished slots in one batch, preserving admission order."""
+        survivors = int(np.count_nonzero(keep))
+        for name in ("_remaining", "_starts", "_sizes_arr"):
+            array = getattr(self, name)
+            array[:survivors] = array[: self._count][keep]
+        self._slots = [fid for fid, alive in zip(self._slots, keep.tolist()) if alive]
+        self._count = survivors
+        self._rate_cache = self._rate_cache_epoch = None
+
+    def _gather_rates(self, rates: Dict[object, float]) -> np.ndarray:
+        epoch = self._rates_epoch()
+        if (
+            epoch is not None
+            and epoch == self._rate_cache_epoch
+            and self._rate_cache is not None
+        ):
+            return self._rate_cache
+        get = rates.get
+        vector = np.fromiter(
+            (get(fid, 0.0) for fid in self._slots), dtype=float, count=self._count
+        )
+        self._rate_cache = vector
+        self._rate_cache_epoch = epoch
+        return vector
+
+    def _run_array(
+        self, pending: List[FlowArrival], max_time: Optional[float]
+    ) -> List[CompletedFlow]:
+        time = 0.0
+        index = 0
+        horizon = max_time if max_time is not None else float("inf")
+        dt = self.step_interval
+
+        while time < horizon and (index < len(pending) or self._count):
+            changed = False
+            while index < len(pending) and pending[index].time <= time:
+                arrival = pending[index]
+                self._admit(arrival)
+                self._append_flow(arrival)
+                index += 1
+                changed = True
+            if changed:
+                self.rate_policy.on_flow_set_changed(self.network)
+
+            if not self._count:
+                if index < len(pending):
+                    time = pending[index].time
+                    continue
+                break
+
+            rates = self.rate_policy.rates(self.network, dt)
+            rate_vec = self._gather_rates(rates)
+            remaining = self._remaining[: self._count]
+            # Identical per-element arithmetic to the dict backend:
+            # ``remaining - rate * dt / 8.0`` with the same operation order.
+            remaining -= rate_vec * dt / 8.0
+            time += dt
+            finished = remaining <= 0.0
+            if finished.any():
+                for slot in np.nonzero(finished)[0].tolist():
+                    flow_id = self._slots[slot]
+                    self.completed.append(
+                        CompletedFlow(
+                            flow_id=flow_id,
+                            size_bytes=int(self._sizes_arr[slot]),
+                            start_time=float(self._starts[slot]),
+                            finish_time=time,
+                        )
+                    )
+                    self.network.remove_flow(flow_id)
+                self._compact(~finished)
                 self.rate_policy.on_flow_set_changed(self.network)
 
         return self.completed

@@ -14,8 +14,6 @@ Expected allocations (from the bandwidth functions):
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.core.bandwidth_function import fig2_flow1, fig2_flow2
 from repro.core.utility import BandwidthFunctionUtility, LogUtility
 from repro.experiments.registry import ExperimentResult

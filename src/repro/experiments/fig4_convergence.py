@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.analysis.stats import percentile
-from repro.core.config import NumFabricParameters, SimulationParameters
+from repro.core.config import SimulationParameters
 from repro.core.utility import LogUtility
 from repro.experiments.registry import ExperimentResult
 from repro.fluid.convergence import ConvergenceCriterion, convergence_iterations

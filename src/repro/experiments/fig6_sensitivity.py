@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.core.config import NumFabricParameters, SimulationParameters
+from repro.core.config import NumFabricParameters
 from repro.core.utility import AlphaFairUtility, LogUtility
 from repro.experiments.registry import ExperimentResult
 from repro.fluid.convergence import ConvergenceCriterion, convergence_iterations

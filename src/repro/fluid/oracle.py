@@ -6,26 +6,48 @@ judged.  We implement two solvers:
 
 * :func:`solve_num` -- single-path flows.  Solves the *dual* problem (over
   link prices) with L-BFGS-B.  The dual is smooth because the utilities are
-  strictly concave, and its dimension is the number of links, which is far
-  smaller than the number of flows in datacenter scenarios, so this scales
-  to thousands of flows easily.
+  strictly concave, and its dimension is the number of links actually
+  carrying flows, which is far smaller than the number of flows in
+  datacenter scenarios, so this scales to thousands of flows easily.
 * :func:`solve_num_multipath` -- flows grouped into multipath aggregates
   whose utility applies to the aggregate rate (resource pooling).  Solves
   the primal directly with SLSQP (suitable for the evaluation's scale of a
   few hundred sub-flows).
+
+:func:`solve_num` has two interchangeable backends, mirroring the fluid
+simulators:
+
+* ``backend="vectorized"`` (default) -- the dual objective/gradient are
+  batched array expressions over the compiled link x flow incidence of
+  :mod:`repro.fluid.vectorized`, so each L-BFGS-B evaluation is a handful
+  of matrix products instead of a Python loop per flow.  This is what makes
+  the per-flow-set-change Oracle of the dynamic experiments (Fig. 5)
+  tractable at the paper's 10k-flow scale.
+* ``backend="scalar"`` -- the original per-flow reference implementation,
+  kept as the parity baseline (``tests/fluid/test_oracle.py`` pins the two
+  backends together on a grid of topologies and utility families).
+
+For repeated solves on a churning flow set (the dynamic Oracle), pass
+``initial_prices`` (warm start) and a cached ``price_scale`` from
+:func:`estimate_price_scale`; both cut the per-solve cost by an order of
+magnitude without changing the optimum.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 from scipy import optimize
 
 from repro.fluid.network import FluidNetwork, FlowId, LinkId
+from repro.fluid.vectorized import compile_network, waterfill_arrays
 
 _MIN_RATE_FRACTION = 1e-9
+
+#: Flow count above which the (SLSQP) primal fallback is not attempted.
+_FALLBACK_MAX_FLOWS = 400
 
 
 @dataclass
@@ -43,49 +65,223 @@ def _path_price(prices: np.ndarray, link_index: Mapping[LinkId, int], path) -> f
     return float(sum(prices[link_index[link]] for link in path))
 
 
+def estimate_price_scale(network: FluidNetwork, backend: str = "vectorized") -> Dict[LinkId, float]:
+    """Per-link price scale: median marginal utility at an equal split.
+
+    Optimal prices differ by many orders of magnitude across utility
+    families (for example ~1e-9 for log utilities at 10 Gbps but ~1e-19 for
+    alpha = 2), which wrecks the conditioning of a naive dual solve.
+    :func:`solve_num` therefore optimizes over scaled prices ``z`` with
+    ``p_l = scale_l * z_l`` where ``scale_l`` estimates the optimal price of
+    link ``l`` as the median marginal utility of its flows at an equal-share
+    allocation.  Only links with at least one flow appear in the result.
+
+    The scale is pure conditioning: it never changes the optimum, so
+    repeated dynamic solves (:class:`~repro.experiments.dynamic_fluid.OracleRatePolicy`)
+    can cache it across flow-set changes instead of recomputing it per solve.
+    Single-path flows only (multipath groups are rejected by the callers).
+    """
+    if backend == "scalar":
+        scales: Dict[LinkId, float] = {}
+        for link in network.links:
+            flows_here = network.flows_on_link(link)
+            if not flows_here:
+                continue
+            share = network.capacity(link) / len(flows_here)
+            marginals = sorted(flow.utility.marginal(share) for flow in flows_here)
+            scales[link] = max(marginals[len(marginals) // 2], 1e-300)
+        return scales
+    if backend != "vectorized":
+        raise ValueError(f"unknown oracle backend {backend!r}")
+    compiled = compile_network(network)
+    incidence = compiled.incidence
+    counts = incidence.sum(axis=1)
+    active = counts > 0
+    if not active.any():
+        return {}
+    capacities = compiled.capacities_vector()
+    shares = np.where(active, capacities / np.maximum(counts, 1), 1.0)
+    # One marginal per (link, flow-on-link) at that link's equal share; the
+    # placeholder rate 1.0 for non-members is masked to +inf before sorting,
+    # so the upper median lands on the same element the scalar loop picks.
+    marginals = compiled.vec_utils.marginal(np.where(incidence, shares[:, None], 1.0))
+    marginals = np.where(incidence, marginals, np.inf)
+    marginals.sort(axis=1)
+    medians = marginals[np.arange(len(counts)), counts // 2]
+    return {
+        compiled.link_ids[idx]: max(float(medians[idx]), 1e-300)
+        for idx in np.nonzero(active)[0]
+    }
+
+
+def _scale_vector(
+    price_scale: Optional[Mapping[LinkId, float]],
+    network: FluidNetwork,
+    backend: str,
+    active_links: List[LinkId],
+) -> np.ndarray:
+    """Price scale for the active links, computing or completing as needed.
+
+    A caller-provided (cached) scale may predate the current flow set; links
+    it misses fall back to the median of the provided values, which keeps
+    the conditioning in the right ballpark without a full recompute.
+    """
+    if price_scale is None:
+        price_scale = estimate_price_scale(network, backend=backend)
+    if price_scale:
+        fill = float(np.median(np.fromiter(price_scale.values(), dtype=float)))
+    else:
+        fill = 1.0
+    return np.array([price_scale.get(link, fill) for link in active_links], dtype=float)
+
+
 def solve_num(
     network: FluidNetwork,
     max_iterations: int = 2000,
     tolerance: float = 1e-9,
     initial_prices: Optional[Mapping[LinkId, float]] = None,
+    backend: str = "vectorized",
+    price_scale: Optional[Mapping[LinkId, float]] = None,
+    safeguard: bool = True,
 ) -> OracleResult:
     """Solve ``max sum_i U_i(x_i)`` s.t. ``Rx <= c`` for single-path flows.
 
     Flows that belong to a group (multipath aggregates) are not supported
     here; use :func:`solve_num_multipath`.
+
+    Parameters
+    ----------
+    initial_prices:
+        Warm-start prices (e.g. from the previous solve of a dynamic
+        scenario); links not present start at zero.
+    backend:
+        ``"vectorized"`` (default, batched array dual) or ``"scalar"``
+        (the per-flow reference implementation).
+    price_scale:
+        Cached conditioning from :func:`estimate_price_scale`; computed
+        fresh when omitted.
+    safeguard:
+        When true (default), the solution is checked against the max-min
+        allocation and a primal SLSQP fallback is attempted if the dual
+        stalled (very steep utilities).  Dynamic callers with
+        well-conditioned utilities can disable it to shave per-solve cost.
+
+    Links carrying no flows are excluded from the dual and reported with a
+    price of exactly zero (their capacity cannot constrain anything).
     """
     flows = network.flows
     if any(flow.group_id is not None for flow in flows):
         raise ValueError("network contains multipath groups; use solve_num_multipath")
+    if backend not in ("scalar", "vectorized"):
+        raise ValueError(f"unknown oracle backend {backend!r}")
     links = network.links
-    link_index = {link: i for i, link in enumerate(links)}
-    capacities = np.array([network.capacity(link) for link in links], dtype=float)
-
     if not flows:
         return OracleResult(rates={}, prices={link: 0.0 for link in links}, objective=0.0,
                             iterations=0, converged=True)
+    if backend == "vectorized":
+        return _solve_num_vectorized(
+            network, flows, links, max_iterations, tolerance, initial_prices,
+            price_scale, safeguard,
+        )
+    return _solve_num_scalar(
+        network, flows, links, max_iterations, tolerance, initial_prices,
+        price_scale, safeguard,
+    )
+
+
+def _dual_minimize(dual_and_gradient, z0: np.ndarray, max_iterations: int, tolerance: float):
+    """The shared L-BFGS-B call over non-negative scaled prices."""
+    return optimize.minimize(
+        dual_and_gradient,
+        z0,
+        jac=True,
+        bounds=[(0.0, None)] * len(z0),
+        method="L-BFGS-B",
+        options={"maxiter": max_iterations, "ftol": tolerance, "gtol": 1e-12},
+    )
+
+
+def _warm_start(
+    initial_prices: Optional[Mapping[LinkId, float]],
+    active_links: List[LinkId],
+    scale_vec: np.ndarray,
+) -> np.ndarray:
+    if initial_prices is not None:
+        return np.array(
+            [max(initial_prices.get(link, 0.0), 0.0) for link in active_links], dtype=float
+        ) / scale_vec
+    # Start at half the scale estimate itself (z = 0.5) so multi-hop paths
+    # are not wildly overpriced initially.
+    return np.full(len(active_links), 0.5, dtype=float)
+
+
+def _finish(
+    network: FluidNetwork,
+    flows,
+    links: List[LinkId],
+    rates: Dict[FlowId, float],
+    prices: Dict[LinkId, float],
+    objective: float,
+    iterations: int,
+    success: bool,
+    maxmin_rates: Optional[Dict[FlowId, float]],
+    maxmin_objective: Optional[float],
+    max_iterations: int,
+) -> OracleResult:
+    """Apply the max-min sanity check / primal fallback shared by both backends.
+
+    The optimum can never be worse than plain max-min (a feasible
+    allocation).  For very steep utilities (alpha >= ~4) the dual becomes so
+    ill-conditioned that L-BFGS-B can stall far from the optimum; in that
+    case fall back to a primal SLSQP solve in normalized units, which is
+    slower but robust for the evaluation's problem sizes.
+    """
+    if maxmin_objective is None:  # safeguard disabled
+        return OracleResult(rates=rates, prices=prices, objective=objective,
+                            iterations=iterations, converged=success)
+    if (not success or objective < maxmin_objective) and len(flows) <= _FALLBACK_MAX_FLOWS:
+        fallback = _solve_num_primal(network, max_iterations=max_iterations)
+        if fallback.objective >= objective:
+            return fallback
+    if objective < maxmin_objective:
+        # Even the fallback could not beat max-min (or the problem is too
+        # large for it); max-min itself is a feasible, better allocation.
+        return OracleResult(
+            rates=maxmin_rates,
+            prices={link: 0.0 for link in links},
+            objective=maxmin_objective,
+            iterations=iterations,
+            converged=False,
+        )
+    return OracleResult(rates=rates, prices=prices, objective=objective,
+                        iterations=iterations, converged=success)
+
+
+def _solve_num_scalar(
+    network: FluidNetwork,
+    flows,
+    links: List[LinkId],
+    max_iterations: int,
+    tolerance: float,
+    initial_prices: Optional[Mapping[LinkId, float]],
+    price_scale: Optional[Mapping[LinkId, float]],
+    safeguard: bool,
+) -> OracleResult:
+    """The per-flow reference implementation of the dual solve."""
+    used = set()
+    for flow in flows:
+        used.update(flow.path)
+    active_links = [link for link in links if link in used]
+    link_index = {link: i for i, link in enumerate(active_links)}
+    capacities = np.array([network.capacity(link) for link in active_links], dtype=float)
 
     # Per-flow rate cap: the narrowest link on the path.  Clipping at the cap
     # makes the inner maximization bounded even when the path price is ~0.
     rate_caps = {flow.flow_id: network.path_capacity(flow.flow_id) for flow in flows}
     rate_floors = {fid: cap * _MIN_RATE_FRACTION for fid, cap in rate_caps.items()}
 
-    # Optimal prices differ by many orders of magnitude across utility
-    # families (for example ~1e-9 for log utilities at 10 Gbps but ~1e-19 for
-    # alpha = 2), which wrecks the conditioning of a naive dual solve.  We
-    # therefore optimize over scaled prices ``z`` with ``p_l = scale_l * z_l``
-    # where ``scale_l`` estimates the optimal price of link ``l`` as the
-    # median marginal utility of its flows at an equal-share allocation.
-    flows_per_link = {link: max(len(network.flows_on_link(link)), 1) for link in links}
-    price_scale = np.ones(len(links))
-    for link in links:
-        flows_here = network.flows_on_link(link)
-        if not flows_here:
-            continue
-        share = network.capacity(link) / len(flows_here)
-        marginals = sorted(flow.utility.marginal(share) for flow in flows_here)
-        price_scale[link_index[link]] = max(marginals[len(marginals) // 2], 1e-300)
-    objective_scale = float(np.max(capacities) * np.median(price_scale))
+    scale_vec = _scale_vector(price_scale, network, "scalar", active_links)
+    objective_scale = float(np.max(capacities) * np.median(scale_vec))
 
     def primal_rates(prices: np.ndarray) -> Dict[FlowId, float]:
         rates = {}
@@ -100,71 +296,101 @@ def solve_num(
         return rates
 
     def dual_and_gradient(z: np.ndarray) -> Tuple[float, np.ndarray]:
-        prices = price_scale * z
+        prices = scale_vec * z
         rates = primal_rates(prices)
         value = float(np.dot(prices, capacities))
-        load = np.zeros(len(links))
+        load = np.zeros(len(active_links))
         for flow in flows:
             x = rates[flow.flow_id]
             q = _path_price(prices, link_index, flow.path)
             value += flow.utility.value(x) - x * q
             for link in flow.path:
                 load[link_index[link]] += x
-        gradient = price_scale * (capacities - load)
+        gradient = scale_vec * (capacities - load)
         return value / objective_scale, gradient / objective_scale
 
-    if initial_prices is not None:
-        z0 = np.array(
-            [max(initial_prices.get(link, 0.0), 0.0) for link in links], dtype=float
-        ) / price_scale
-    else:
-        # Start at the scale estimate itself (z = 1) scaled down per path
-        # length so multi-hop paths are not wildly overpriced initially.
-        z0 = np.full(len(links), 0.5, dtype=float)
-
-    result = optimize.minimize(
-        dual_and_gradient,
-        z0,
-        jac=True,
-        bounds=[(0.0, None)] * len(links),
-        method="L-BFGS-B",
-        options={"maxiter": max_iterations, "ftol": tolerance, "gtol": 1e-12},
-    )
-    prices = price_scale * np.maximum(result.x, 0.0)
+    z0 = _warm_start(initial_prices, active_links, scale_vec)
+    result = _dual_minimize(dual_and_gradient, z0, max_iterations, tolerance)
+    prices = scale_vec * np.maximum(result.x, 0.0)
     rates = primal_rates(prices)
     rates = _rescale_to_feasible(network, rates)
     objective = network.total_utility(rates)
 
-    # Sanity check: the optimum can never be worse than plain max-min (a
-    # feasible allocation).  For very steep utilities (alpha >= ~4) the dual
-    # becomes so ill-conditioned that L-BFGS-B can stall far from the
-    # optimum; in that case fall back to a primal SLSQP solve in normalized
-    # units, which is slower but robust for the evaluation's problem sizes.
-    from repro.fluid.maxmin import max_min as _max_min
+    maxmin_rates = maxmin_objective = None
+    if safeguard:
+        from repro.fluid.maxmin import max_min as _max_min
 
-    maxmin_rates = _max_min({f.flow_id: f.path for f in flows}, network.capacities)
-    maxmin_objective = network.total_utility(maxmin_rates)
-    if (not result.success or objective < maxmin_objective) and len(flows) <= 400:
-        fallback = _solve_num_primal(network, max_iterations=max_iterations)
-        if fallback.objective >= objective:
-            return fallback
-    if objective < maxmin_objective:
-        # Even the fallback could not beat max-min (or the problem is too
-        # large for it); max-min itself is a feasible, better allocation.
-        return OracleResult(
-            rates=maxmin_rates,
-            prices={link: 0.0 for link in links},
-            objective=maxmin_objective,
-            iterations=int(result.nit),
-            converged=False,
+        maxmin_rates = _max_min({f.flow_id: f.path for f in flows}, network.capacities)
+        maxmin_objective = network.total_utility(maxmin_rates)
+    price_dict = {link: 0.0 for link in links}
+    for link in active_links:
+        price_dict[link] = float(prices[link_index[link]])
+    return _finish(network, flows, links, rates, price_dict, objective,
+                   int(result.nit), bool(result.success),
+                   maxmin_rates, maxmin_objective, max_iterations)
+
+
+def _solve_num_vectorized(
+    network: FluidNetwork,
+    flows,
+    links: List[LinkId],
+    max_iterations: int,
+    tolerance: float,
+    initial_prices: Optional[Mapping[LinkId, float]],
+    price_scale: Optional[Mapping[LinkId, float]],
+    safeguard: bool,
+) -> OracleResult:
+    """Batched dual solve over the compiled link x flow incidence."""
+    compiled = compile_network(network)
+    vec_utils = compiled.vec_utils
+    capacities_all = compiled.capacities_vector()
+    active = compiled.incidence.any(axis=1)
+    active_idx = np.nonzero(active)[0]
+    active_links = [compiled.link_ids[i] for i in active_idx]
+    incidence = compiled.incidence[active]
+    incidence_f = compiled.incidence_f[active]
+    capacities = capacities_all[active]
+
+    path_caps = compiled.path_capacities(capacities_all)
+    floors = path_caps * _MIN_RATE_FRACTION
+
+    scale_vec = _scale_vector(price_scale, network, "vectorized", active_links)
+    objective_scale = float(np.max(capacities) * np.median(scale_vec))
+
+    def primal_rates_vec(prices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        path_prices = incidence_f.T @ prices
+        rates = vec_utils.inverse_marginal_clipped(path_prices, path_caps)
+        return np.maximum(rates, floors), path_prices
+
+    def dual_and_gradient(z: np.ndarray) -> Tuple[float, np.ndarray]:
+        prices = scale_vec * z
+        rates, path_prices = primal_rates_vec(prices)
+        value = float(prices @ capacities + vec_utils.value(rates).sum() - rates @ path_prices)
+        load = incidence_f @ rates
+        gradient = scale_vec * (capacities - load)
+        return value / objective_scale, gradient / objective_scale
+
+    z0 = _warm_start(initial_prices, active_links, scale_vec)
+    result = _dual_minimize(dual_and_gradient, z0, max_iterations, tolerance)
+    prices = scale_vec * np.maximum(result.x, 0.0)
+    rate_vec, _ = primal_rates_vec(prices)
+    rate_vec = _rescale_to_feasible_arrays(incidence, incidence_f, rate_vec, capacities)
+    objective = float(vec_utils.value(rate_vec).sum())
+    rates = dict(zip(compiled.flow_ids, rate_vec.tolist()))
+
+    maxmin_rates = maxmin_objective = None
+    if safeguard:
+        maxmin_vec = waterfill_arrays(
+            incidence, incidence_f, np.ones(len(compiled.flow_ids)), capacities
         )
-    return OracleResult(
-        rates=rates,
-        prices={link: float(prices[link_index[link]]) for link in links},
-        objective=objective,
-        iterations=int(result.nit),
-        converged=bool(result.success),
-    )
+        maxmin_objective = float(vec_utils.value(maxmin_vec).sum())
+        maxmin_rates = dict(zip(compiled.flow_ids, maxmin_vec.tolist()))
+    price_dict = {link: 0.0 for link in links}
+    for position, link in enumerate(active_links):
+        price_dict[link] = float(prices[position])
+    return _finish(network, flows, links, rates, price_dict, objective,
+                   int(result.nit), bool(result.success),
+                   maxmin_rates, maxmin_objective, max_iterations)
 
 
 def _solve_num_primal(network: FluidNetwork, max_iterations: int = 500) -> OracleResult:
@@ -231,6 +457,21 @@ def _solve_num_primal(network: FluidNetwork, max_iterations: int = 500) -> Oracl
         iterations=int(result.nit),
         converged=bool(result.success),
     )
+
+
+def _rescale_to_feasible_arrays(
+    incidence: np.ndarray,
+    incidence_f: np.ndarray,
+    rates: np.ndarray,
+    capacities: np.ndarray,
+) -> np.ndarray:
+    """Array twin of :func:`_rescale_to_feasible` (same per-flow worst-link rule)."""
+    load = incidence_f @ rates
+    ratio = load / capacities
+    if not (ratio > 1.0).any():
+        return rates
+    worst = np.where(incidence, np.maximum(ratio, 1.0)[:, None], 1.0).max(axis=0)
+    return np.where(worst > 1.0, rates / worst, rates)
 
 
 def _rescale_to_feasible(network: FluidNetwork, rates: Dict[FlowId, float]) -> Dict[FlowId, float]:

@@ -153,25 +153,73 @@ class VectorizedUtilities:
         return not self._fallback
 
     def marginal(self, rates: np.ndarray) -> np.ndarray:
-        """Elementwise ``U_i'(rates[i])``; excluded indices are left at 0."""
+        """Elementwise ``U_i'(rates[..., i])``; excluded indices are left at 0.
+
+        ``rates`` may carry leading axes (shape ``(..., n)``): the Oracle's
+        price-scale estimate evaluates every flow's marginal at one
+        equal-share rate per link, a ``links x flows`` matrix, in one call.
+        """
+        out = np.zeros(rates.shape)
+        i, w = self._log
+        if i.size:
+            out[..., i] = w / np.maximum(rates[..., i], _EPSILON)
+        i, a, _ = self._alpha
+        if i.size:
+            out[..., i] = np.maximum(rates[..., i], _EPSILON) ** (-a)
+        i, _, wa, a, _ = self._walpha
+        if i.size:
+            out[..., i] = wa * np.maximum(rates[..., i], _EPSILON) ** (-a)
+        i, s, eps, _ = self._fct
+        if i.size:
+            out[..., i] = np.maximum(rates[..., i], _EPSILON) ** (-eps) / s
+        i, c, a, _ = self._power
+        if i.size:
+            out[..., i] = c * np.maximum(rates[..., i], _EPSILON) ** (-a)
+        for i in self._fallback:
+            column = rates[..., i]
+            if column.ndim == 0:
+                out[..., i] = self.utilities[i].marginal(float(column))
+            else:
+                out[..., i] = np.reshape(
+                    [self.utilities[i].marginal(float(v)) for v in column.ravel()],
+                    column.shape,
+                )
+        return out
+
+    def value(self, rates: np.ndarray) -> np.ndarray:
+        """Elementwise ``U_i(rates[i])``; excluded indices are left at 0.
+
+        The closed-form families evaluate the exact same arithmetic as their
+        scalar ``value`` methods (including the ``alpha ~ 1`` log branch of
+        the alpha-fair families); generic power-law and fallback utilities
+        use per-flow scalar calls, so the Oracle's dual objective never
+        depends on a utility being vectorizable.
+        """
         out = np.zeros(self.n)
         i, w = self._log
         if i.size:
-            out[i] = w / np.maximum(rates[i], _EPSILON)
+            out[i] = w * np.log(np.maximum(rates[i], _EPSILON))
         i, a, _ = self._alpha
         if i.size:
-            out[i] = np.maximum(rates[i], _EPSILON) ** (-a)
-        i, _, wa, a, _ = self._walpha
+            x = np.maximum(rates[i], _EPSILON)
+            # Match math.isclose(alpha, 1.0) (rel_tol 1e-9, no abs_tol).
+            log_branch = np.isclose(a, 1.0, rtol=1e-9, atol=0.0)
+            one_minus_a = np.where(log_branch, 1.0, 1.0 - a)
+            out[i] = np.where(log_branch, np.log(x), x**one_minus_a / one_minus_a)
+        i, w, wa, a, _ = self._walpha
         if i.size:
-            out[i] = wa * np.maximum(rates[i], _EPSILON) ** (-a)
+            x = np.maximum(rates[i], _EPSILON)
+            log_branch = np.isclose(a, 1.0, rtol=1e-9, atol=0.0)
+            one_minus_a = np.where(log_branch, 1.0, 1.0 - a)
+            out[i] = wa * np.where(log_branch, np.log(x), x**one_minus_a / one_minus_a)
         i, s, eps, _ = self._fct
         if i.size:
-            out[i] = np.maximum(rates[i], _EPSILON) ** (-eps) / s
-        i, c, a, _ = self._power
-        if i.size:
-            out[i] = c * np.maximum(rates[i], _EPSILON) ** (-a)
+            x = np.maximum(rates[i], _EPSILON)
+            out[i] = x ** (1.0 - eps) / (s * (1.0 - eps))
+        for i in self._power[0]:
+            out[i] = self.utilities[i].value(float(rates[i]))
         for i in self._fallback:
-            out[i] = self.utilities[i].marginal(float(rates[i]))
+            out[i] = self.utilities[i].value(float(rates[i]))
         return out
 
     def inverse_marginal_clipped(self, prices: np.ndarray, max_rates: np.ndarray) -> np.ndarray:

@@ -25,7 +25,7 @@ Two interchangeable backends drive the iteration:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np

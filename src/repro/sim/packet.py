@@ -12,8 +12,6 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Optional
-
 _packet_ids = itertools.count()
 
 DATA_HEADER_BYTES = 40

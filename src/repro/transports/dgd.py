@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.core.config import SimulationParameters
 from repro.core.utility import Utility
 from repro.sim.flow import FlowDescriptor
 from repro.sim.packet import Packet

@@ -9,7 +9,11 @@ from repro.workloads.distributions import (
     web_search_distribution,
 )
 from repro.workloads.poisson import FlowArrival, PoissonTrafficGenerator
-from repro.workloads.semidynamic import NetworkEvent, SemiDynamicScenario
+from repro.workloads.semidynamic import (
+    NetworkEvent,
+    SemiDynamicScenario,
+    arrivals_from_scenario,
+)
 from repro.workloads.permutation import PermutationTraffic, permutation_pairs
 
 __all__ = [
@@ -23,6 +27,7 @@ __all__ = [
     "PoissonTrafficGenerator",
     "NetworkEvent",
     "SemiDynamicScenario",
+    "arrivals_from_scenario",
     "PermutationTraffic",
     "permutation_pairs",
 ]

@@ -19,7 +19,7 @@ import bisect
 import math
 import random
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 
 class FlowSizeDistribution(ABC):

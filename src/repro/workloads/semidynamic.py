@@ -12,8 +12,12 @@ from a seed so experiments are repeatable.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import only used for type checking
+    from repro.workloads.distributions import FlowSizeDistribution
+    from repro.workloads.poisson import FlowArrival
 
 
 @dataclass(frozen=True)
@@ -125,3 +129,55 @@ class SemiDynamicScenario:
     def events(self, count: int) -> List[NetworkEvent]:
         """Generate ``count`` consecutive events."""
         return [self.next_event() for _ in range(count)]
+
+
+def arrivals_from_scenario(
+    scenario: SemiDynamicScenario,
+    size_distribution: "FlowSizeDistribution",
+    event_interval: float,
+    num_events: int,
+    seed: Optional[int] = None,
+) -> List["FlowArrival"]:
+    """Express the semi-dynamic churn pattern as a sized arrival sequence.
+
+    The flow-level simulation
+    (:class:`~repro.experiments.dynamic_fluid.FlowLevelSimulation`) consumes
+    flows that carry a finite size and depart on their own, so the
+    scenario's start events are converted into
+    :class:`~repro.workloads.poisson.FlowArrival` batches -- the initial
+    active set arrives at time zero, every subsequent start event lands
+    ``event_interval`` apart, and each flow draws its size from
+    ``size_distribution``.  Stop events are skipped (a sized flow stops by
+    completing), which preserves the scenario's signature bursts of 100
+    simultaneous arrivals.  Flow ids are globally unique even when a path
+    is restarted by a later event.
+    """
+    from repro.workloads.poisson import FlowArrival
+
+    if event_interval <= 0:
+        raise ValueError("event_interval must be positive")
+    rng = random.Random(seed)
+    arrivals: List[FlowArrival] = []
+    flow_id = 0
+
+    def add_batch(path_ids, time: float) -> None:
+        nonlocal flow_id
+        for path_id in sorted(path_ids):
+            path = scenario.path(path_id)
+            arrivals.append(
+                FlowArrival(
+                    flow_id=flow_id,
+                    time=time,
+                    source=path.source,
+                    destination=path.destination,
+                    size_bytes=size_distribution.sample(rng),
+                )
+            )
+            flow_id += 1
+
+    add_batch(scenario.initialize(), 0.0)
+    for index in range(num_events):
+        event = scenario.next_event()
+        if event.kind == "start":
+            add_batch(event.path_ids, (index + 1) * event_interval)
+    return arrivals

@@ -15,6 +15,7 @@ from repro.experiments import (
 )
 from repro.experiments.fig4_convergence import ConvergenceSettings
 from repro.experiments.fig5_dynamic import DeviationSettings
+from repro.experiments.fig7_fct import FlowLevelFctSettings, run_fct_flow_level
 from repro.experiments.fig8_resource_pooling import ResourcePoolingSettings
 from repro.experiments.registry import ExperimentResult
 
@@ -64,6 +65,30 @@ class TestFig5:
     def test_unknown_workload_rejected(self):
         with pytest.raises(ValueError):
             run_deviation_experiment("nonsense")
+
+
+class TestFig7FlowLevel:
+    def test_fct_utility_beats_proportional_fairness(self):
+        settings = FlowLevelFctSettings(
+            num_servers=8, num_leaves=2, num_spines=2, num_flows=60
+        )
+        result = run_fct_flow_level(loads=[0.4, 0.6], settings=settings)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["fct_utility_flows_completed"] == 60
+            assert row["proportional_flows_completed"] == 60
+            # The SRPT-like utility cannot do worse on average than fair sharing.
+            assert row["ratio"] <= 1.0 + 1e-9
+
+    def test_flow_backends_agree(self):
+        settings_array = FlowLevelFctSettings(num_servers=8, num_leaves=2, num_flows=40)
+        settings_dict = FlowLevelFctSettings(
+            num_servers=8, num_leaves=2, num_flows=40, flow_backend="dict"
+        )
+        by_array = run_fct_flow_level(loads=[0.5], settings=settings_array)
+        by_dict = run_fct_flow_level(loads=[0.5], settings=settings_dict)
+        for key in ("fct_utility_mean_norm_fct", "proportional_p99_norm_fct"):
+            assert by_array.rows[0][key] == pytest.approx(by_dict.rows[0][key], rel=1e-12)
 
 
 class TestFig8:

@@ -8,7 +8,7 @@ from repro.fluid.dgd import DgdFluidParameters, DgdFluidSimulator
 from repro.fluid.dctcp import DctcpFluidSimulator
 from repro.fluid.network import FluidFlow, FluidNetwork
 from repro.fluid.oracle import solve_num
-from repro.fluid.rcp import RcpStarFluidParameters, RcpStarFluidSimulator
+from repro.fluid.rcp import RcpStarFluidSimulator
 from repro.fluid.xwi import XwiFluidSimulator
 
 

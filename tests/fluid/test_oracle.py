@@ -1,15 +1,27 @@
 """Tests for the NUM Oracle (ground-truth solver)."""
 
+import random
+
 import pytest
 
-from repro.core.utility import AlphaFairUtility, FctUtility, LogUtility, WeightedAlphaFairUtility
+from repro.core.bandwidth_function import PiecewiseLinearBandwidthFunction
+from repro.core.config import SimulationParameters
+from repro.core.utility import (
+    AlphaFairUtility,
+    BandwidthFunctionUtility,
+    FctUtility,
+    LogUtility,
+    WeightedAlphaFairUtility,
+)
 from repro.fluid.network import FlowGroup, FluidFlow, FluidNetwork
 from repro.fluid.oracle import (
     alpha_fair_single_link,
+    estimate_price_scale,
     proportional_fair_single_link,
     solve_num,
     solve_num_multipath,
 )
+from repro.fluid.topologies import leaf_spine
 
 
 class TestSolveNumSingleLink:
@@ -143,6 +155,148 @@ class TestSolveNumMultipath:
         network.group("g").member_ids = ("s1", "s2")
         result = solve_num_multipath(network)
         assert network.is_feasible(result.rates, tolerance=1e-3)
+
+
+def _max_rel_rate_diff(a, b):
+    return max(abs(a[k] - b[k]) / max(abs(a[k]), 1.0) for k in a)
+
+
+def _parity_grid():
+    """Well-conditioned problems where both backends pin the same optimum."""
+    cases = {}
+
+    single_log = FluidNetwork.single_link(
+        10e9, 5, [LogUtility(weight=w) for w in (1.0, 2.0, 3.0, 0.5, 1.5)]
+    )
+    cases["single_link_log"] = single_log
+
+    for alpha in (0.5, 2.0):
+        single_alpha = FluidNetwork({"l": 10e9})
+        for i in range(4):
+            single_alpha.add_flow(FluidFlow(i, ("l",), AlphaFairUtility(alpha=alpha)))
+        cases[f"single_link_alpha_{alpha}"] = single_alpha
+
+    single_walpha = FluidNetwork({"l": 12e9})
+    single_walpha.add_flow(FluidFlow("a", ("l",), WeightedAlphaFairUtility(1.0, 2.0)))
+    single_walpha.add_flow(FluidFlow("b", ("l",), WeightedAlphaFairUtility(3.0, 2.0)))
+    cases["single_link_weighted"] = single_walpha
+
+    single_fct = FluidNetwork({"l": 10e9})
+    for i, size in enumerate((1e4, 1e5, 1e6)):
+        single_fct.add_flow(FluidFlow(i, ("l",), FctUtility(flow_size=size, epsilon=0.5)))
+    cases["single_link_fct"] = single_fct
+
+    parking = FluidNetwork({"l1": 9e9, "l2": 9e9})
+    parking.add_flow(FluidFlow("long", ("l1", "l2"), LogUtility()))
+    parking.add_flow(FluidFlow("s1", ("l1",), LogUtility()))
+    parking.add_flow(FluidFlow("s2", ("l2",), AlphaFairUtility(alpha=2.0)))
+    cases["parking_lot_mixed"] = parking
+
+    params = SimulationParameters(num_servers=16, num_leaves=4, num_spines=2)
+    fabric = leaf_spine(params)
+    rng = random.Random(5)
+    for f in range(40):
+        src, dst = rng.sample(range(16), 2)
+        fabric.network.add_flow(
+            FluidFlow(
+                f,
+                fabric.path(src, dst, spine=f % 2),
+                LogUtility(weight=rng.uniform(0.5, 3.0)),
+            )
+        )
+    cases["leaf_spine_log"] = fabric.network
+    return cases
+
+
+class TestBackendParity:
+    """The vectorized dual must match the scalar reference on the parity grid."""
+
+    @pytest.mark.parametrize("name", sorted(_parity_grid()))
+    def test_rates_match_within_1e9(self, name):
+        network = _parity_grid()[name]
+        scalar = solve_num(network, backend="scalar")
+        vectorized = solve_num(network, backend="vectorized")
+        assert _max_rel_rate_diff(scalar.rates, vectorized.rates) <= 1e-9
+        assert abs(scalar.objective - vectorized.objective) <= 1e-9 * max(
+            abs(scalar.objective), 1.0
+        )
+        assert scalar.converged == vectorized.converged
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            solve_num(FluidNetwork.single_link(1e9, 1), backend="quantum")
+        with pytest.raises(ValueError):
+            estimate_price_scale(FluidNetwork.single_link(1e9, 1), backend="quantum")
+
+    def test_price_scale_estimates_match(self):
+        for name, network in _parity_grid().items():
+            scalar = estimate_price_scale(network, backend="scalar")
+            vectorized = estimate_price_scale(network, backend="vectorized")
+            assert scalar.keys() == vectorized.keys(), name
+            for link, value in scalar.items():
+                assert vectorized[link] == pytest.approx(value, rel=1e-12), (name, link)
+
+    def test_unused_links_priced_zero_and_excluded(self):
+        network = FluidNetwork({"used": 1e9, "idle": 5e9})
+        network.add_flow(FluidFlow("f", ("used",), LogUtility()))
+        for backend in ("scalar", "vectorized"):
+            result = solve_num(network, backend=backend)
+            assert result.prices["idle"] == 0.0
+            assert result.rates["f"] == pytest.approx(1e9, rel=1e-3)
+
+    def test_warm_start_reaches_same_optimum(self):
+        network = FluidNetwork({"l1": 9e9, "l2": 9e9})
+        network.add_flow(FluidFlow("long", ("l1", "l2"), LogUtility()))
+        network.add_flow(FluidFlow("s1", ("l1",), LogUtility(weight=2.0)))
+        network.add_flow(FluidFlow("s2", ("l2",), LogUtility()))
+        cold = solve_num(network)
+        assert cold.converged
+        warm = solve_num(network, initial_prices=cold.prices)
+        assert warm.converged
+        # Warm starts only change where the solver *starts*: it lands on the
+        # same optimum (to solver precision) in fewer iterations.
+        assert _max_rel_rate_diff(cold.rates, warm.rates) <= 1e-4
+        assert warm.iterations < cold.iterations
+
+    def test_cached_price_scale_is_conditioning_only(self):
+        # A stale scale (here: computed before half the flows existed) must
+        # still converge to the same optimum -- it only preconditions.
+        network = FluidNetwork({"l": 10e9})
+        for i in range(3):
+            network.add_flow(FluidFlow(i, ("l",), LogUtility()))
+        stale_scale = estimate_price_scale(network)
+        for i in range(3, 6):
+            network.add_flow(FluidFlow(i, ("l",), LogUtility()))
+        result = solve_num(network, price_scale=stale_scale)
+        for rate in result.rates.values():
+            assert rate == pytest.approx(10e9 / 6, rel=1e-6)
+
+    def test_price_scale_for_unseen_links_falls_back_to_median(self):
+        network = FluidNetwork({"a": 10e9, "b": 10e9})
+        network.add_flow(FluidFlow(0, ("a",), LogUtility()))
+        scale_before = estimate_price_scale(network)
+        assert "b" not in scale_before
+        network.add_flow(FluidFlow(1, ("b",), LogUtility()))
+        result = solve_num(network, price_scale=scale_before)
+        assert result.rates[0] == pytest.approx(10e9, rel=1e-3)
+        assert result.rates[1] == pytest.approx(10e9, rel=1e-3)
+
+    def test_safeguard_off_matches_on_for_well_conditioned(self):
+        network = _parity_grid()["single_link_log"]
+        guarded = solve_num(network, safeguard=True)
+        unguarded = solve_num(network, safeguard=False)
+        assert _max_rel_rate_diff(guarded.rates, unguarded.rates) <= 1e-9
+
+    def test_fallback_utility_flows_use_scalar_path(self):
+        # BandwidthFunctionUtility has no closed-form batched family, so the
+        # vectorized backend must route it through per-flow scalar calls.
+        bwf = PiecewiseLinearBandwidthFunction([(0.0, 0.0), (2.0, 6e9), (4.0, 8e9)])
+        network = FluidNetwork({"l": 10e9})
+        network.add_flow(FluidFlow("bw", ("l",), BandwidthFunctionUtility(bwf)))
+        network.add_flow(FluidFlow("log", ("l",), LogUtility()))
+        scalar = solve_num(network, backend="scalar")
+        vectorized = solve_num(network, backend="vectorized")
+        assert _max_rel_rate_diff(scalar.rates, vectorized.rates) <= 1e-9
 
 
 class TestClosedForms:

@@ -13,7 +13,7 @@ from repro.workloads.distributions import (
 )
 from repro.workloads.permutation import PermutationTraffic, permutation_pairs
 from repro.workloads.poisson import PoissonTrafficGenerator
-from repro.workloads.semidynamic import SemiDynamicScenario
+from repro.workloads.semidynamic import SemiDynamicScenario, arrivals_from_scenario
 
 
 class TestEmpiricalDistribution:
@@ -146,3 +146,73 @@ class TestPermutationTraffic:
     def test_odd_server_count_rejected(self):
         with pytest.raises(ValueError):
             permutation_pairs(7)
+
+
+class TestArrivalsFromScenario:
+    def _scenario(self):
+        return SemiDynamicScenario(
+            num_servers=16, num_paths=40, flows_per_event=5,
+            min_active=10, max_active=20, num_spines=2, seed=4,
+        )
+
+    def test_initial_set_arrives_at_time_zero(self):
+        arrivals = arrivals_from_scenario(
+            self._scenario(), UniformFlowSizeDistribution(1_000, 10_000),
+            event_interval=1e-3, num_events=6, seed=1,
+        )
+        initial = [a for a in arrivals if a.time == 0.0]
+        assert len(initial) == 15  # (min_active + max_active) // 2
+
+    def test_start_events_become_sized_batches(self):
+        scenario = self._scenario()
+        arrivals = arrivals_from_scenario(
+            scenario, UniformFlowSizeDistribution(1_000, 10_000),
+            event_interval=1e-3, num_events=10, seed=1,
+        )
+        times = sorted({a.time for a in arrivals if a.time > 0.0})
+        # Every non-initial batch lands on the event grid with 5 flows each.
+        for t in times:
+            assert t / 1e-3 == pytest.approx(round(t / 1e-3))
+            assert len([a for a in arrivals if a.time == t]) == 5
+        assert all(a.size_bytes >= 1_000 for a in arrivals)
+        assert all(a.source != a.destination for a in arrivals)
+
+    def test_flow_ids_unique_even_across_path_restarts(self):
+        arrivals = arrivals_from_scenario(
+            self._scenario(), UniformFlowSizeDistribution(1_000, 10_000),
+            event_interval=1e-3, num_events=30, seed=1,
+        )
+        ids = [a.flow_id for a in arrivals]
+        assert len(ids) == len(set(ids))
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            arrivals_from_scenario(
+                self._scenario(), UniformFlowSizeDistribution(1_000, 10_000),
+                event_interval=0.0, num_events=1,
+            )
+
+    def test_drives_flow_level_simulation(self):
+        from repro.experiments.dynamic_fluid import FlowLevelSimulation
+        from repro.fluid.network import FluidNetwork
+
+        arrivals = arrivals_from_scenario(
+            self._scenario(), UniformFlowSizeDistribution(1_000, 5_000),
+            event_interval=5e-3, num_events=4, seed=2,
+        )
+        network = FluidNetwork({"bottleneck": 1e9})
+
+        class EqualShare:
+            def on_flow_set_changed(self, network):
+                self._rates = None
+
+            def rates(self, network, dt):
+                flows = network.flows
+                share = 1e9 / len(flows) if flows else 0.0
+                return {flow.flow_id: share for flow in flows}
+
+        simulation = FlowLevelSimulation(
+            network, lambda a: ("bottleneck",), EqualShare()
+        )
+        completed = simulation.run(arrivals)
+        assert len(completed) == len(arrivals)
