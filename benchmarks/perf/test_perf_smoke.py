@@ -67,6 +67,47 @@ def test_smoke_covers_oracle(smoke_results):
 
 
 @pytest.mark.perf_smoke
+def test_smoke_covers_persistent_oracle(smoke_results):
+    """The persistent dual solver churn row: present, timed, within 1e-6."""
+    results, written = smoke_results
+    rows = results["oracle_persistent"]
+    assert [row["flows"] for row in rows] == [50]
+    for row in rows:
+        assert row["max_rel_rate_diff"] < run_bench.ORACLE_PARITY_TOLERANCE
+        assert row["scipy_seconds"] > 0 and row["persistent_seconds"] > 0
+        assert row["events"] > 0
+    assert written["oracle_persistent"] == rows
+
+
+@pytest.mark.perf_smoke
+def test_smoke_covers_incremental_incidence(smoke_results):
+    """Incremental refresh must match a full recompile on the churn trace."""
+    results, written = smoke_results
+    rows = results["incidence"]
+    assert [row["flows"] for row in rows] == [50]
+    for row in rows:
+        assert row["identical"] is True
+        assert row["full_seconds"] > 0 and row["incremental_seconds"] > 0
+    assert written["incidence"] == rows
+
+
+@pytest.mark.perf_smoke
+def test_smoke_covers_batched_waterfill(smoke_results):
+    """Batched waterfill: parity-clean, round count tracks distinct levels."""
+    results, written = smoke_results
+    rows = results["waterfill"]
+    assert [row["flows"] for row in rows] == [20, 50]
+    for row in rows:
+        assert row["max_rel_rate_diff"] < run_bench.PARITY_TOLERANCE
+        assert row["single_seconds"] > 0 and row["batched_seconds"] > 0
+        # The acceptance contract: batched rounds are bounded by the number
+        # of distinct bottleneck levels, which in turn bounds (from below)
+        # what the one-bottleneck-per-round schedule pays.
+        assert row["rounds_batched"] <= row["distinct_levels"] <= row["rounds_single"]
+    assert written["waterfill"] == rows
+
+
+@pytest.mark.perf_smoke
 def test_smoke_covers_flow_level(smoke_results):
     """Dict vs array flow-level stepping: identical completions, both timed."""
     results, written = smoke_results
@@ -110,26 +151,83 @@ def test_parity_enforcement_fails_loudly():
         run_bench.enforce_parity(results)
 
 
+def _empty_results(**overrides):
+    base = {"xwi": [], "schemes": {}, "maxmin": [], "oracle": [], "flow_level": []}
+    base.update(overrides)
+    return base
+
+
 @pytest.mark.perf_smoke
 def test_parity_enforcement_covers_oracle_and_flow_level():
-    base = {
-        "xwi": [],
-        "schemes": {},
-        "maxmin": [],
-        "oracle": [{"flows": 50, "max_rel_rate_diff": 1e-3}],
-        "flow_level": [],
-    }
+    base = _empty_results(oracle=[{"flows": 50, "max_rel_rate_diff": 1e-3}])
     with pytest.raises(RuntimeError, match="oracle at 50 flows"):
         run_bench.enforce_parity(base)
-    base = {
-        "xwi": [],
-        "schemes": {},
-        "maxmin": [],
-        "oracle": [],
-        "flow_level": [{"flows": 100, "max_rel_fct_diff": 1e-6}],
-    }
+    base = _empty_results(flow_level=[{"flows": 100, "max_rel_fct_diff": 1e-6}])
     with pytest.raises(RuntimeError, match="flow_level at 100 flows"):
         run_bench.enforce_parity(base)
+
+
+@pytest.mark.perf_smoke
+def test_parity_enforcement_covers_new_sections():
+    """oracle_persistent drift, waterfill drift/rounds and incidence
+    mismatches must all abort the harness."""
+    base = _empty_results(oracle_persistent=[{"flows": 50, "max_rel_rate_diff": 1e-3}])
+    with pytest.raises(RuntimeError, match="oracle_persistent at 50 flows"):
+        run_bench.enforce_parity(base)
+    base = _empty_results(
+        waterfill=[
+            {
+                "flows": 20,
+                "max_rel_rate_diff": 1e-6,
+                "rounds_batched": 1,
+                "distinct_levels": 1,
+            }
+        ]
+    )
+    with pytest.raises(RuntimeError, match="waterfill at 20 flows"):
+        run_bench.enforce_parity(base)
+    base = _empty_results(
+        waterfill=[
+            {
+                "flows": 20,
+                "max_rel_rate_diff": 0.0,
+                "rounds_batched": 9,
+                "distinct_levels": 3,
+            }
+        ]
+    )
+    with pytest.raises(RuntimeError, match="waterfill_rounds at 20 flows"):
+        run_bench.enforce_parity(base)
+    base = _empty_results(incidence=[{"flows": 50, "identical": False}])
+    with pytest.raises(RuntimeError, match="incidence at 50 flows"):
+        run_bench.enforce_parity(base)
+
+
+@pytest.mark.perf_smoke
+def test_parity_enforcement_skips_sampled_out_dict_rows():
+    base = _empty_results(
+        flow_level=[{"flows": 10_000, "max_rel_fct_diff": None, "dict_seconds": None}]
+    )
+    run_bench.enforce_parity(base)  # must not raise
+
+
+@pytest.mark.perf_smoke
+def test_check_mode_accepts_fresh_smoke_json(smoke_results, tmp_path):
+    """--check passes against a JSON the harness itself just wrote."""
+    _, written = smoke_results
+    committed = tmp_path / "BENCH_fluid.json"
+    committed.write_text(json.dumps(written))
+    assert run_bench.main(["--check", "--out", str(committed)]) == {}
+
+
+@pytest.mark.perf_smoke
+def test_check_mode_rejects_missing_sections(smoke_results, tmp_path):
+    _, written = smoke_results
+    broken = {key: value for key, value in written.items() if key != "waterfill"}
+    committed = tmp_path / "BENCH_fluid.json"
+    committed.write_text(json.dumps(broken))
+    with pytest.raises(RuntimeError, match="missing sections.*waterfill"):
+        run_bench.main(["--check", "--out", str(committed)])
 
 
 @pytest.mark.perf_smoke

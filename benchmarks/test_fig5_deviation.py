@@ -7,7 +7,11 @@ from repro.experiments.fig5_dynamic import DeviationSettings, run_deviation_expe
 
 def _median_of(result, scheme, size_bin):
     for row in result.rows:
-        if row["scheme"] == scheme and row["size_bin_bdp"] == size_bin and row["median"] is not None:
+        if (
+            row["scheme"] == scheme
+            and row["size_bin_bdp"] == size_bin
+            and row["median"] is not None
+        ):
             return row["median"]
     return None
 

@@ -26,7 +26,9 @@ MAX_FLOW_BYTES = 200_000
 
 def run_scheme(name: str, arrivals) -> None:
     if name == "NUMFabric":
-        scheme = NumFabricScheme(params=NumFabricParameters(baseline_rtt=BASELINE_RTT).slowed_down(2.0))
+        scheme = NumFabricScheme(
+            params=NumFabricParameters(baseline_rtt=BASELINE_RTT).slowed_down(2.0)
+        )
     else:
         scheme = PfabricScheme(params=PfabricParameters(retransmission_timeout=3 * BASELINE_RTT))
     params = SimulationParameters(
@@ -71,7 +73,10 @@ def main() -> None:
         seed=42,
     )
     arrivals = generator.generate(max_flows=NUM_FLOWS)
-    print(f"web-search workload: {len(arrivals)} flows at 40% load on a {LINK_RATE / 1e9:.0f} Gbps dumbbell\n")
+    print(
+        f"web-search workload: {len(arrivals)} flows at 40% load "
+        f"on a {LINK_RATE / 1e9:.0f} Gbps dumbbell\n"
+    )
     for scheme in ("NUMFabric", "pFabric"):
         run_scheme(scheme, arrivals)
     print("\nNormalized FCT = completion time / (size at line rate + one RTT); lower is better.")

@@ -43,7 +43,7 @@ import numpy as np
 from repro.core.utility import LogUtility, Utility
 from repro.fluid.dgd import DgdFluidSimulator
 from repro.fluid.network import FluidFlow, FluidNetwork
-from repro.fluid.oracle import estimate_price_scale, solve_num
+from repro.fluid.oracle import PersistentDualSolver, estimate_price_scale, solve_num
 from repro.fluid.rcp import RcpStarFluidSimulator
 from repro.fluid.xwi import XwiFluidSimulator
 from repro.workloads.poisson import FlowArrival
@@ -121,7 +121,15 @@ class EqualSharePolicy(RatePolicy):
 class OracleRatePolicy(RatePolicy):
     """Instantaneously optimal rates, recomputed on every flow-set change.
 
-    Tuned for the dynamic experiments' solve-per-change pattern:
+    Tuned for the dynamic experiments' solve-per-change pattern.  The
+    default ``solver="persistent"`` drives a
+    :class:`~repro.fluid.oracle.PersistentDualSolver`, which keeps prices,
+    curvature, conditioning *and* the compiled incidence alive across
+    flow-set changes (the incidence is patched incrementally from the
+    network's churn journal) -- no scipy per-call setup, no per-event
+    recompiles.  ``solver="scipy"`` keeps the previous behaviour (per-call
+    L-BFGS-B with warm-started prices and cached conditioning), the parity
+    reference:
 
     * prices from the previous solve warm-start the next one (the flow set
       changes by a handful of flows per step, so the dual moves little);
@@ -133,6 +141,9 @@ class OracleRatePolicy(RatePolicy):
       workloads of Fig. 5 it costs more than the solve itself.  Pass
       ``safeguard=True`` when using steep utilities (e.g. FCT with a small
       epsilon).
+
+    ``warm_start`` applies to the scipy solver only: the persistent solver
+    warm-starts by construction (that is its point).
     """
 
     def __init__(
@@ -142,12 +153,19 @@ class OracleRatePolicy(RatePolicy):
         scale_refresh_interval: int = 32,
         safeguard: bool = False,
         tolerance: float = 1e-9,
+        solver: str = "persistent",
     ):
+        if solver not in ("persistent", "scipy"):
+            raise ValueError(f"unknown oracle policy solver {solver!r}")
+        if solver == "persistent" and backend != "vectorized":
+            raise ValueError('solver="persistent" requires backend="vectorized"')
         self.backend = backend
         self.warm_start = warm_start
         self.scale_refresh_interval = scale_refresh_interval
         self.safeguard = safeguard
         self.tolerance = tolerance
+        self.solver = solver
+        self._persistent: Optional[PersistentDualSolver] = None
         self._cached: Optional[Dict[object, float]] = None
         self._prices: Optional[Dict[object, float]] = None
         self._scale: Optional[Dict[object, float]] = None
@@ -164,18 +182,27 @@ class OracleRatePolicy(RatePolicy):
             if not network.flows:
                 self._cached = {}
                 return self._cached
-            if self._scale is None or self._changes_since_scale >= self.scale_refresh_interval:
-                self._scale = estimate_price_scale(network, backend=self.backend)
-                self._changes_since_scale = 0
-            result = solve_num(
-                network,
-                tolerance=self.tolerance,
-                initial_prices=self._prices if self.warm_start else None,
-                backend=self.backend,
-                price_scale=self._scale,
-                safeguard=self.safeguard,
-            )
-            self._prices = result.prices
+            if self.solver == "persistent":
+                if self._persistent is None:
+                    self._persistent = PersistentDualSolver(
+                        tolerance=self.tolerance,
+                        scale_refresh_interval=self.scale_refresh_interval,
+                        safeguard=self.safeguard,
+                    )
+                result = self._persistent.solve(network)
+            else:
+                if self._scale is None or self._changes_since_scale >= self.scale_refresh_interval:
+                    self._scale = estimate_price_scale(network, backend=self.backend)
+                    self._changes_since_scale = 0
+                result = solve_num(
+                    network,
+                    tolerance=self.tolerance,
+                    initial_prices=self._prices if self.warm_start else None,
+                    backend=self.backend,
+                    price_scale=self._scale,
+                    safeguard=self.safeguard,
+                )
+                self._prices = result.prices
             self._cached = result.rates
         return self._cached
 
@@ -247,8 +274,13 @@ def scheme_rate_policy(
         raise ValueError(
             f"unknown scheme {scheme!r}; expected one of {sorted(SCHEME_SIMULATORS)}"
         ) from None
+    # The policy only reads each record's rates, so skip the per-step
+    # price/queue/weight dict builds (record_detail=False) -- measurable at
+    # the dynamic experiments' paper scale.
     return SimulatorRatePolicy(
-        lambda network: simulator_cls(network, params=params, backend=backend)
+        lambda network: simulator_cls(
+            network, params=params, backend=backend, record_detail=False
+        )
     )
 
 

@@ -159,7 +159,9 @@ def run_convergence_cdf(
     numfabric_median = percentile(convergence_times["NUMFabric"], 50.0)
     dgd_median = percentile(convergence_times["DGD"], 50.0)
     rcp_median = percentile(convergence_times["RCP*"], 50.0)
-    speedup = min(dgd_median, rcp_median) / numfabric_median if numfabric_median > 0 else float("inf")
+    speedup = (
+        min(dgd_median, rcp_median) / numfabric_median if numfabric_median > 0 else float("inf")
+    )
     result.notes = (
         f"NUMFabric converges {speedup:.1f}x faster than the best gradient-based scheme "
         f"at the median (the paper reports ~2.3x at the median, ~2.7x at the 95th percentile)."

@@ -58,5 +58,7 @@ def format_table(rows: Sequence[Dict[str, Any]], float_format: str = "{:.4g}") -
     ]
     header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
     separator = "  ".join("-" * widths[i] for i in range(len(columns)))
-    body = "\n".join("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered)
+    body = "\n".join(
+        "  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered
+    )
     return f"{header}\n{separator}\n{body}"

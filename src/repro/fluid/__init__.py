@@ -16,7 +16,12 @@ from repro.fluid.vectorized import (
     compile_network,
     weighted_max_min_vectorized,
 )
-from repro.fluid.oracle import estimate_price_scale, solve_num, solve_num_multipath
+from repro.fluid.oracle import (
+    PersistentDualSolver,
+    estimate_price_scale,
+    solve_num,
+    solve_num_multipath,
+)
 from repro.fluid.dgd import DgdFluidSimulator
 from repro.fluid.rcp import RcpStarFluidSimulator
 from repro.fluid.xwi import XwiFluidSimulator
@@ -34,6 +39,7 @@ __all__ = [
     "VectorizedUtilities",
     "compile_max_min",
     "compile_network",
+    "PersistentDualSolver",
     "estimate_price_scale",
     "solve_num",
     "solve_num_multipath",

@@ -74,7 +74,9 @@ def convergence_iterations(
     return None
 
 
-def iterations_to_seconds(iterations: Optional[int], seconds_per_iteration: float) -> Optional[float]:
+def iterations_to_seconds(
+    iterations: Optional[int], seconds_per_iteration: float
+) -> Optional[float]:
     """Convert an iteration count into wall-clock time."""
     if iterations is None:
         return None

@@ -64,10 +64,13 @@ class DgdFluidSimulator(VectorizedBackendMixin):
         params: Optional[DgdFluidParameters] = None,
         initial_price: float = 1e-3,
         backend: str = "scalar",
+        record_detail: bool = True,
     ):
         self.network = network
         self.params = params or DgdFluidParameters()
         self.backend = self._check_backend(backend, "DGD")
+        #: When false, records carry only the rates (see xWI's twin flag).
+        self.record_detail = record_detail
         self.prices: Dict[LinkId, float] = {link: initial_price for link in network.links}
         self.queues: Dict[LinkId, float] = {link: 0.0 for link in network.links}
         self.iteration = 0
@@ -128,8 +131,8 @@ class DgdFluidSimulator(VectorizedBackendMixin):
         record = DgdIterationRecord(
             iteration=self.iteration,
             rates=dict(zip(compiled.flow_ids, rate_vec.tolist())),
-            prices=dict(self.prices),
-            queues=dict(self.queues),
+            prices=dict(self.prices) if self.record_detail else {},
+            queues=dict(self.queues) if self.record_detail else {},
         )
         self.iteration += 1
         return record
@@ -160,8 +163,8 @@ class DgdFluidSimulator(VectorizedBackendMixin):
         record = DgdIterationRecord(
             iteration=self.iteration,
             rates=dict(rates),
-            prices=dict(self.prices),
-            queues=dict(self.queues),
+            prices=dict(self.prices) if self.record_detail else {},
+            queues=dict(self.queues) if self.record_detail else {},
         )
         self.iteration += 1
         return record

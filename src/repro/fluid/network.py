@@ -9,6 +9,7 @@ utility defined on their aggregate rate (Table 1, fourth row).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
@@ -17,6 +18,11 @@ from repro.core.utility import LogUtility, Utility
 
 LinkId = Hashable
 FlowId = Hashable
+
+#: How many churn events the network retains for incremental consumers
+#: (:meth:`FluidNetwork.churn_since`).  A compiled view lagging further
+#: behind than this simply recompiles from scratch.
+_JOURNAL_LIMIT = 256
 
 
 @dataclass(slots=True)
@@ -75,6 +81,11 @@ class FluidNetwork:
         self._flows: Dict[FlowId, FluidFlow] = {}
         self._groups: Dict[Hashable, FlowGroup] = {}
         self._topology_version = 0
+        self._capacity_version = 0
+        # Bounded churn journal: one entry per topology_version bump, so
+        # compiled views can replay arrivals/departures incrementally
+        # instead of rebuilding their incidence structure per event.
+        self._journal: deque = deque(maxlen=_JOURNAL_LIMIT)
 
     # -- links ------------------------------------------------------------
 
@@ -94,8 +105,37 @@ class FluidNetwork:
         """
         return self._topology_version
 
+    def churn_since(self, version: int) -> Optional[List[Tuple[int, str, FluidFlow]]]:
+        """Churn events after ``version``, oldest first, or ``None``.
+
+        Each entry is ``(version_after, op, payload)`` with ``op`` one of
+        ``"add"`` / ``"remove"`` (payload: the :class:`FluidFlow`) or
+        ``"group"`` (payload: the :class:`FlowGroup`).  Returns ``None``
+        when the bounded journal no longer reaches back to ``version`` --
+        the caller must then rebuild its view from scratch.  Because every
+        :attr:`topology_version` bump appends exactly one entry, the needed
+        events are simply the last ``current - version`` entries.
+        """
+        current = self._topology_version
+        if version == current:
+            return []
+        lag = current - version
+        if lag < 0 or lag > len(self._journal):
+            return None
+        return list(self._journal)[-lag:]
+
     def capacity(self, link: LinkId) -> float:
         return self._capacities[link]
+
+    @property
+    def capacity_version(self) -> int:
+        """Monotonic counter bumped on every ``set_capacity`` call.
+
+        Compiled backends use it to memoize capacity-derived vectors (the
+        capacities themselves, per-flow path capacities) without re-reading
+        the dict on every iteration.
+        """
+        return self._capacity_version
 
     def set_capacity(self, link: LinkId, capacity: float) -> None:
         """Change a link's capacity (used by the Fig. 10 experiment)."""
@@ -104,6 +144,7 @@ class FluidNetwork:
         if link not in self._capacities:
             raise KeyError(f"unknown link {link!r}")
         self._capacities[link] = capacity
+        self._capacity_version += 1
 
     @property
     def links(self) -> List[LinkId]:
@@ -122,6 +163,7 @@ class FluidNetwork:
             group = self._groups[flow.group_id]
             group.member_ids = tuple(list(group.member_ids) + [flow.flow_id])
         self._topology_version += 1
+        self._journal.append((self._topology_version, "add", flow))
         return flow
 
     def remove_flow(self, flow_id: FlowId) -> FluidFlow:
@@ -130,6 +172,7 @@ class FluidNetwork:
             group = self._groups[flow.group_id]
             group.member_ids = tuple(m for m in group.member_ids if m != flow_id)
         self._topology_version += 1
+        self._journal.append((self._topology_version, "remove", flow))
         return flow
 
     def add_group(self, group: FlowGroup) -> FlowGroup:
@@ -137,6 +180,7 @@ class FluidNetwork:
             raise ValueError(f"duplicate group id {group.group_id!r}")
         self._groups[group.group_id] = group
         self._topology_version += 1
+        self._journal.append((self._topology_version, "group", group))
         return group
 
     @property

@@ -59,10 +59,13 @@ class RcpStarFluidSimulator(VectorizedBackendMixin):
         params: Optional[RcpStarFluidParameters] = None,
         initial_fraction: float = 0.1,
         backend: str = "scalar",
+        record_detail: bool = True,
     ):
         self.network = network
         self.params = params or RcpStarFluidParameters()
         self.backend = self._check_backend(backend, "RCP*")
+        #: When false, records carry only the rates (see xWI's twin flag).
+        self.record_detail = record_detail
         self.fair_rates: Dict[LinkId, float] = {
             link: network.capacity(link) * initial_fraction for link in network.links
         }
@@ -76,7 +79,9 @@ class RcpStarFluidSimulator(VectorizedBackendMixin):
         rates: Dict[FlowId, float] = {}
         for flow in self.network.flows:
             total = sum(self.fair_rates[link] ** (-alpha) for link in flow.path)
-            rate = total ** (-1.0 / alpha) if total > 0 else self.network.path_capacity(flow.flow_id)
+            rate = (
+                total ** (-1.0 / alpha) if total > 0 else self.network.path_capacity(flow.flow_id)
+            )
             limit = self.params.max_outstanding_bdp * self.network.path_capacity(flow.flow_id)
             rates[flow.flow_id] = min(rate, limit)
         return rates
@@ -117,8 +122,8 @@ class RcpStarFluidSimulator(VectorizedBackendMixin):
         record = RcpIterationRecord(
             iteration=self.iteration,
             rates=dict(zip(compiled.flow_ids, rate_vec.tolist())),
-            fair_rates=dict(self.fair_rates),
-            queues=dict(self.queues),
+            fair_rates=dict(self.fair_rates) if self.record_detail else {},
+            queues=dict(self.queues) if self.record_detail else {},
         )
         self.iteration += 1
         return record
@@ -146,8 +151,8 @@ class RcpStarFluidSimulator(VectorizedBackendMixin):
         record = RcpIterationRecord(
             iteration=self.iteration,
             rates=dict(rates),
-            fair_rates=dict(self.fair_rates),
-            queues=dict(self.queues),
+            fair_rates=dict(self.fair_rates) if self.record_detail else {},
+            queues=dict(self.queues) if self.record_detail else {},
         )
         self.iteration += 1
         return record

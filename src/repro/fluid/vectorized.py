@@ -63,6 +63,10 @@ from repro.core.utility import (
 from repro.fluid.network import FluidFlow, FluidNetwork, FlowId, LinkId
 
 
+#: Utility family codes stored per slot by :class:`VectorizedUtilities`.
+_EXCLUDED, _FAM_LOG, _FAM_ALPHA, _FAM_WALPHA, _FAM_FCT, _FAM_POWER, _FAM_FALLBACK = range(7)
+
+
 class VectorizedUtilities:
     """Per-flow utility parameters compiled into family-batched arrays.
 
@@ -77,80 +81,178 @@ class VectorizedUtilities:
     ``exclude`` marks indices (e.g. multipath group members, whose weight
     comes from the *group* utility) that are left at zero for the caller to
     overwrite.
+
+    Storage is per-slot (a family code plus up to four parameters per flow)
+    so incremental flow churn (:meth:`append`, :meth:`move`, :meth:`pop`,
+    :meth:`replace`) is O(1) per event; the per-family index/parameter
+    tuples the evaluation methods consume are regathered lazily with one
+    ``nonzero`` + fancy-index pass per churn batch.  The gathered values are
+    bit-identical to a from-scratch compile, so this never affects parity.
     """
 
     def __init__(self, utilities: Sequence[Utility], exclude: frozenset = frozenset()):
         self.utilities: List[Utility] = list(utilities)
         n = len(self.utilities)
-        log_idx: List[int] = []
-        log_w: List[float] = []
-        alpha_idx: List[int] = []
-        alpha_a: List[float] = []
-        alpha_inv: List[float] = []
-        fct_idx: List[int] = []
-        fct_s: List[float] = []
-        fct_eps: List[float] = []
-        fct_inv: List[float] = []
-        walpha_idx: List[int] = []
-        walpha_w: List[float] = []
-        walpha_wa: List[float] = []
-        walpha_a: List[float] = []
-        walpha_inv: List[float] = []
-        power_idx: List[int] = []
-        power_c: List[float] = []
-        power_a: List[float] = []
-        power_inv: List[float] = []
-        fallback: List[int] = []
-        for i, utility in enumerate(self.utilities):
-            if i in exclude:
-                continue
-            kind = type(utility)
-            if kind is LogUtility:
-                log_idx.append(i)
-                log_w.append(utility.weight)
-            elif kind is AlphaFairUtility and utility.alpha > 0.0:
-                alpha_idx.append(i)
-                alpha_a.append(utility.alpha)
-                alpha_inv.append(-1.0 / utility.alpha)
-            elif kind is WeightedAlphaFairUtility:
-                walpha_idx.append(i)
-                walpha_w.append(utility.weight)
-                walpha_wa.append(utility.weight ** utility.alpha)
-                walpha_a.append(utility.alpha)
-                walpha_inv.append(-1.0 / utility.alpha)
-            elif kind is FctUtility:
-                fct_idx.append(i)
-                fct_s.append(utility.flow_size)
-                fct_eps.append(utility.epsilon)
-                fct_inv.append(-1.0 / utility.epsilon)
-            else:
-                params = utility.power_law_params()
-                if params is not None and params[1] > 0.0:
-                    power_idx.append(i)
-                    power_c.append(params[0])
-                    power_a.append(params[1])
-                    power_inv.append(-1.0 / params[1])
-                else:
-                    fallback.append(i)
-
-        def arr(values: List[float]) -> np.ndarray:
-            return np.asarray(values, dtype=float)
-
-        def idx(values: List[int]) -> np.ndarray:
-            return np.asarray(values, dtype=np.intp)
-
-        self._log = (idx(log_idx), arr(log_w))
-        self._alpha = (idx(alpha_idx), arr(alpha_a), arr(alpha_inv))
-        self._walpha = (idx(walpha_idx), arr(walpha_w), arr(walpha_wa), arr(walpha_a), arr(walpha_inv))
-        self._fct = (idx(fct_idx), arr(fct_s), arr(fct_eps), arr(fct_inv))
-        self._power = (idx(power_idx), arr(power_c), arr(power_a), arr(power_inv))
-        self._fallback = fallback
         self.n = n
+        capacity = max(n, 8)
+        self._code = np.zeros(capacity, dtype=np.int8)
+        self._params = np.zeros((4, capacity))
+        self._alpha_eff = np.ones(capacity)
+        for i, utility in enumerate(self.utilities):
+            if i not in exclude:
+                self._classify_into(i, utility)
+        self._gathered = False
+
+    def _classify_into(self, slot: int, utility: Utility) -> None:
+        """Write one utility's family code + parameters into its slot."""
+        params = self._params
+        kind = type(utility)
+        alpha_eff = 1.0
+        if kind is LogUtility:
+            self._code[slot] = _FAM_LOG
+            params[0, slot] = utility.weight
+        elif kind is AlphaFairUtility and utility.alpha > 0.0:
+            self._code[slot] = _FAM_ALPHA
+            params[0, slot] = utility.alpha
+            params[1, slot] = -1.0 / utility.alpha
+            alpha_eff = utility.alpha
+        elif kind is WeightedAlphaFairUtility:
+            self._code[slot] = _FAM_WALPHA
+            params[0, slot] = utility.weight
+            params[1, slot] = utility.weight ** utility.alpha
+            params[2, slot] = utility.alpha
+            params[3, slot] = -1.0 / utility.alpha
+            alpha_eff = utility.alpha
+        elif kind is FctUtility:
+            self._code[slot] = _FAM_FCT
+            params[0, slot] = utility.flow_size
+            params[1, slot] = utility.epsilon
+            params[2, slot] = -1.0 / utility.epsilon
+            alpha_eff = utility.epsilon
+        else:
+            power = utility.power_law_params()
+            if power is not None and power[1] > 0.0:
+                self._code[slot] = _FAM_POWER
+                params[0, slot] = power[0]
+                params[1, slot] = power[1]
+                params[2, slot] = -1.0 / power[1]
+                alpha_eff = power[1]
+            else:
+                self._code[slot] = _FAM_FALLBACK
+        self._alpha_eff[slot] = alpha_eff
+
+    @property
+    def curvature_alpha(self) -> np.ndarray:
+        """Per-slot demand-curve exponent ``alpha_eff`` (a view).
+
+        Every batched family's inverse marginal is a power law
+        ``x ~ q^(-1/alpha_eff)``, so ``|dx/dq| = x / (alpha_eff * q)`` --
+        the per-flow term of the dual's diagonal Hessian, used by the SPG
+        Oracle to precondition cold solves.  Fallback and excluded slots
+        report 1.0 (a neutral curvature guess).
+        """
+        return self._alpha_eff[: self.n]
+
+    def _ensure_gathered(self) -> None:
+        """Regather the per-family tuples from the slot arrays if dirty.
+
+        Each family tuple is ``(index, count, *parameter arrays)``.  When a
+        single family covers every slot -- the common case for workload
+        populations like Fig. 5's all-log flows -- the index is
+        ``slice(None)`` and the parameter arrays are views, so the
+        evaluation methods run basic (copy-free) indexing over the whole
+        array instead of fancy-index gathers; the arithmetic is unchanged.
+        """
+        if self._gathered:
+            return
+        code = self._code[: self.n]
+        params = self._params
+
+        def gather(family: int, n_params: int, full_ok: bool = True):
+            idx = np.nonzero(code == family)[0]
+            count = int(idx.size)
+            if full_ok and count == self.n:
+                return (slice(None), count) + tuple(
+                    params[row, : self.n] for row in range(n_params)
+                )
+            return (idx, count) + tuple(params[row, idx] for row in range(n_params))
+
+        self._log = gather(_FAM_LOG, 1)
+        self._alpha = gather(_FAM_ALPHA, 2)
+        self._walpha = gather(_FAM_WALPHA, 4)
+        self._fct = gather(_FAM_FCT, 3)
+        # value() iterates the power indices for per-flow scalar calls, so
+        # this family always keeps a concrete index array.
+        self._power = gather(_FAM_POWER, 3, full_ok=False)
+        self._fallback = np.nonzero(code == _FAM_FALLBACK)[0].tolist()
+        self._gathered = True
+
+    # -- incremental churn (used by CompiledFluidNetwork.refresh) ----------
+
+    def _grow(self, extra: int) -> None:
+        needed = self.n + extra
+        if needed <= len(self._code):
+            return
+        capacity = max(needed, 2 * len(self._code))
+        code = np.zeros(capacity, dtype=np.int8)
+        code[: self.n] = self._code[: self.n]
+        params = np.zeros((4, capacity))
+        params[:, : self.n] = self._params[:, : self.n]
+        alpha_eff = np.ones(capacity)
+        alpha_eff[: self.n] = self._alpha_eff[: self.n]
+        self._code, self._params, self._alpha_eff = code, params, alpha_eff
+
+    def append(self, utility: Utility) -> None:
+        """Add one (non-excluded) flow's utility at the next slot."""
+        self._grow(1)
+        slot = self.n
+        self.utilities.append(utility)
+        self._params[:, slot] = 0.0
+        self._classify_into(slot, utility)
+        self.n += 1
+        self._gathered = False
+
+    def move(self, src: int, dst: int) -> None:
+        """Overwrite slot ``dst`` with slot ``src`` (swap-remove helper)."""
+        self.utilities[dst] = self.utilities[src]
+        self._code[dst] = self._code[src]
+        self._params[:, dst] = self._params[:, src]
+        self._alpha_eff[dst] = self._alpha_eff[src]
+        self._gathered = False
+
+    def pop(self) -> None:
+        """Drop the last slot."""
+        self.n -= 1
+        self.utilities.pop()
+        self._gathered = False
+
+    def replace(self, slot: int, utility: Utility) -> None:
+        """Rebind one slot to a different utility object (same flow)."""
+        self.utilities[slot] = utility
+        self._params[:, slot] = 0.0
+        self._classify_into(slot, utility)
+        self._gathered = False
 
     @property
     def fully_vectorized(self) -> bool:
         """True when no flow needs the per-flow scalar fallback."""
+        self._ensure_gathered()
         return not self._fallback
+
+    def uniform_log_weights(self) -> Optional[np.ndarray]:
+        """The weight vector when *every* slot is a :class:`LogUtility`.
+
+        Returns ``None`` for any other population.  Hot solvers (the
+        persistent dual Oracle) use this to run a fused whole-array closure
+        for the common all-log workloads (Fig. 5's dynamic flows) instead
+        of the per-family dispatch; the arithmetic is element-for-element
+        the same.  Treat the result as read-only (it views the slot store).
+        """
+        self._ensure_gathered()
+        index, count, weights = self._log
+        if count and count == self.n and isinstance(index, slice):
+            return weights
+        return None
 
     def marginal(self, rates: np.ndarray) -> np.ndarray:
         """Elementwise ``U_i'(rates[..., i])``; excluded indices are left at 0.
@@ -159,21 +261,22 @@ class VectorizedUtilities:
         price-scale estimate evaluates every flow's marginal at one
         equal-share rate per link, a ``links x flows`` matrix, in one call.
         """
+        self._ensure_gathered()
         out = np.zeros(rates.shape)
-        i, w = self._log
-        if i.size:
+        i, m, w = self._log
+        if m:
             out[..., i] = w / np.maximum(rates[..., i], _EPSILON)
-        i, a, _ = self._alpha
-        if i.size:
+        i, m, a, _ = self._alpha
+        if m:
             out[..., i] = np.maximum(rates[..., i], _EPSILON) ** (-a)
-        i, _, wa, a, _ = self._walpha
-        if i.size:
+        i, m, _, wa, a, _ = self._walpha
+        if m:
             out[..., i] = wa * np.maximum(rates[..., i], _EPSILON) ** (-a)
-        i, s, eps, _ = self._fct
-        if i.size:
+        i, m, s, eps, _ = self._fct
+        if m:
             out[..., i] = np.maximum(rates[..., i], _EPSILON) ** (-eps) / s
-        i, c, a, _ = self._power
-        if i.size:
+        i, m, c, a, _ = self._power
+        if m:
             out[..., i] = c * np.maximum(rates[..., i], _EPSILON) ** (-a)
         for i in self._fallback:
             column = rates[..., i]
@@ -195,25 +298,26 @@ class VectorizedUtilities:
         use per-flow scalar calls, so the Oracle's dual objective never
         depends on a utility being vectorizable.
         """
+        self._ensure_gathered()
         out = np.zeros(self.n)
-        i, w = self._log
-        if i.size:
+        i, m, w = self._log
+        if m:
             out[i] = w * np.log(np.maximum(rates[i], _EPSILON))
-        i, a, _ = self._alpha
-        if i.size:
+        i, m, a, _ = self._alpha
+        if m:
             x = np.maximum(rates[i], _EPSILON)
             # Match math.isclose(alpha, 1.0) (rel_tol 1e-9, no abs_tol).
             log_branch = np.isclose(a, 1.0, rtol=1e-9, atol=0.0)
             one_minus_a = np.where(log_branch, 1.0, 1.0 - a)
             out[i] = np.where(log_branch, np.log(x), x**one_minus_a / one_minus_a)
-        i, w, wa, a, _ = self._walpha
-        if i.size:
+        i, m, _, wa, a, _ = self._walpha
+        if m:
             x = np.maximum(rates[i], _EPSILON)
             log_branch = np.isclose(a, 1.0, rtol=1e-9, atol=0.0)
             one_minus_a = np.where(log_branch, 1.0, 1.0 - a)
             out[i] = wa * np.where(log_branch, np.log(x), x**one_minus_a / one_minus_a)
-        i, s, eps, _ = self._fct
-        if i.size:
+        i, m, s, eps, _ = self._fct
+        if m:
             x = np.maximum(rates[i], _EPSILON)
             out[i] = x ** (1.0 - eps) / (s * (1.0 - eps))
         for i in self._power[0]:
@@ -228,28 +332,31 @@ class VectorizedUtilities:
         Non-positive prices map to ``max_rates`` exactly as in the scalar
         :meth:`Utility.inverse_marginal_clipped`; excluded indices stay 0.
         """
+        self._ensure_gathered()
         out = np.zeros(self.n)
 
-        def clip(i: np.ndarray, inverse: np.ndarray) -> None:
+        def clip(i, inverse: np.ndarray) -> None:
             out[i] = np.where(prices[i] <= 0.0, max_rates[i], np.minimum(inverse, max_rates[i]))
 
-        i, w = self._log
-        if i.size:
+        i, m, w = self._log
+        if m:
             clip(i, w / np.maximum(prices[i], _EPSILON))
-        i, _, inv = self._alpha
-        if i.size:
+        i, m, _, inv = self._alpha
+        if m:
             clip(i, np.maximum(prices[i], _EPSILON) ** inv)
-        i, w, _, _, inv = self._walpha
-        if i.size:
+        i, m, w, _, _, inv = self._walpha
+        if m:
             clip(i, w * np.maximum(prices[i], _EPSILON) ** inv)
-        i, s, _, inv = self._fct
-        if i.size:
+        i, m, s, _, inv = self._fct
+        if m:
             clip(i, (s * np.maximum(prices[i], _EPSILON)) ** inv)
-        i, c, _, inv = self._power
-        if i.size:
+        i, m, c, _, inv = self._power
+        if m:
             clip(i, (np.maximum(prices[i], _EPSILON) / c) ** inv)
         for i in self._fallback:
-            out[i] = self.utilities[i].inverse_marginal_clipped(float(prices[i]), float(max_rates[i]))
+            out[i] = self.utilities[i].inverse_marginal_clipped(
+                float(prices[i]), float(max_rates[i])
+            )
         return out
 
 
@@ -260,6 +367,15 @@ class CompiledFluidNetwork:
     parameters for the *current* flow set; capacities are deliberately not
     frozen (they are re-read each iteration so ``set_capacity`` takes effect
     without recompiling).
+
+    The column storage is over-allocated behind a flow-slot map (mirroring
+    the flow-level simulation's slot map), so a single arrival or departure
+    is an O(path-length) column edit applied by :meth:`refresh` from the
+    network's churn journal -- dynamic scenarios no longer pay a full
+    O(links x flows) recompile per event.  Departures swap the last column
+    into the vacated slot, so after churn the column order is an admission/
+    swap order rather than the network's dict order; all consumers key their
+    outputs by ``flow_ids``, which is maintained in the same slot order.
     """
 
     __slots__ = (
@@ -268,13 +384,18 @@ class CompiledFluidNetwork:
         "flows",
         "flow_ids",
         "link_ids",
-        "incidence",
-        "incidence_f",
-        "path_len",
         "grouped",
         "vec_utils",
-        "_cached_capacities",
-        "_cached_path_capacities",
+        "_link_index",
+        "_slot_of",
+        "_count",
+        "_incidence",
+        "_incidence_f",
+        "_path_len",
+        "_capacities_vec",
+        "_capacities_version",
+        "_path_caps",
+        "_path_caps_capacities",
         "_link_flow_buffer",
     )
 
@@ -284,15 +405,20 @@ class CompiledFluidNetwork:
         self.flows: List[FluidFlow] = network.flows
         self.flow_ids: List[FlowId] = [flow.flow_id for flow in self.flows]
         self.link_ids: List[LinkId] = network.links
-        link_index = {link: i for i, link in enumerate(self.link_ids)}
+        self._link_index = {link: i for i, link in enumerate(self.link_ids)}
         n_links, n_flows = len(self.link_ids), len(self.flows)
-        incidence = np.zeros((n_links, n_flows), dtype=bool)
+        columns = max(n_flows, 8)
+        incidence = np.zeros((n_links, columns), dtype=bool)
         for j, flow in enumerate(self.flows):
             for link in flow.path:
-                incidence[link_index[link], j] = True
-        self.incidence = incidence
-        self.incidence_f = incidence.astype(float)
-        self.path_len = np.array([len(flow.path) for flow in self.flows], dtype=float)
+                incidence[self._link_index[link], j] = True
+        self._incidence = incidence
+        self._incidence_f = incidence.astype(float)
+        self._count = n_flows
+        path_len = np.zeros(columns)
+        path_len[:n_flows] = [len(flow.path) for flow in self.flows]
+        self._path_len = path_len
+        self._slot_of = {flow_id: j for j, flow_id in enumerate(self.flow_ids)}
         self.grouped: List[Tuple[int, FluidFlow]] = [
             (j, flow) for j, flow in enumerate(self.flows) if flow.group_id is not None
         ]
@@ -300,9 +426,26 @@ class CompiledFluidNetwork:
             [flow.utility for flow in self.flows],
             exclude=frozenset(j for j, _ in self.grouped),
         )
-        self._cached_capacities: np.ndarray = None
-        self._cached_path_capacities: np.ndarray = None
-        self._link_flow_buffer = np.empty((n_links, n_flows))
+        self._capacities_vec: Optional[np.ndarray] = None
+        self._capacities_version: int = -1
+        self._path_caps = np.zeros(columns)
+        self._path_caps_capacities: Optional[np.ndarray] = None
+        self._link_flow_buffer = np.empty((n_links, columns))
+
+    @property
+    def incidence(self) -> np.ndarray:
+        """Boolean link x flow incidence for the active slots (a view)."""
+        return self._incidence[:, : self._count]
+
+    @property
+    def incidence_f(self) -> np.ndarray:
+        """Float twin of :attr:`incidence` (a view)."""
+        return self._incidence_f[:, : self._count]
+
+    @property
+    def path_len(self) -> np.ndarray:
+        """Per-flow path length in slot order (a view)."""
+        return self._path_len[: self._count]
 
     def is_current(self) -> bool:
         """Whether the snapshot still matches the network's flow/group set.
@@ -310,11 +453,11 @@ class CompiledFluidNetwork:
         Also detects rebound utilities (``flow.utility = NewUtility(...)``,
         the SRPT-style pattern of refreshing an ``FctUtility`` as a flow
         drains): the compiled parameter arrays batch the utility *objects*
-        seen at compile time, so a different object means recompile.  The
-        identity check is safe because ``vec_utils`` keeps strong references
-        (ids cannot be recycled).  Mutating a utility's parameters in place
-        is NOT detected -- treat utility instances as immutable, as every
-        in-tree caller does.
+        seen at compile time, so a different object means the snapshot is
+        out of date.  The identity check is safe because ``vec_utils`` keeps
+        strong references (ids cannot be recycled).  Mutating a utility's
+        parameters in place is NOT detected -- treat utility instances as
+        immutable, as every in-tree caller does.
         """
         if self.version != self.network.topology_version:
             return False
@@ -324,36 +467,158 @@ class CompiledFluidNetwork:
                 return False
         return True
 
+    def refresh(self) -> str:
+        """Bring the snapshot up to date in place, if possible.
+
+        Returns ``"current"`` (nothing changed), ``"updated"`` (incremental
+        column edits and/or in-place utility rebinds were applied and the
+        snapshot is now up to date) or ``"stale"`` (the changes cannot be
+        replayed -- multipath groups are involved or the network's bounded
+        churn journal no longer covers the gap -- and the caller must
+        recompile from scratch).
+        """
+        network = self.network
+        changed = False
+        if self.version != network.topology_version:
+            if self.grouped or network.groups:
+                return "stale"
+            events = network.churn_since(self.version)
+            if events is None:
+                return "stale"
+            for _, op, payload in events:
+                if op == "add" and payload.group_id is None:
+                    self._append_flow(payload)
+                elif op == "remove" and payload.flow_id in self._slot_of:
+                    self._remove_flow(payload.flow_id)
+                else:  # group churn, or a replay hole: rebuild from scratch
+                    return "stale"
+            self.version = network.topology_version
+            changed = True
+        utilities = self.vec_utils.utilities
+        for j, flow in enumerate(self.flows):
+            if flow.utility is not utilities[j]:
+                if self.grouped:
+                    return "stale"  # excluded slots must not be re-classified
+                self.vec_utils.replace(j, flow.utility)
+                changed = True
+        return "updated" if changed else "current"
+
+    def _grow_columns(self, extra: int) -> None:
+        needed = self._count + extra
+        if needed <= self._incidence.shape[1]:
+            return
+        columns = max(needed, 2 * self._incidence.shape[1])
+        n_links = len(self.link_ids)
+        incidence = np.zeros((n_links, columns), dtype=bool)
+        incidence[:, : self._count] = self._incidence[:, : self._count]
+        self._incidence = incidence
+        incidence_f = np.zeros((n_links, columns))
+        incidence_f[:, : self._count] = self._incidence_f[:, : self._count]
+        self._incidence_f = incidence_f
+        path_len = np.zeros(columns)
+        path_len[: self._count] = self._path_len[: self._count]
+        self._path_len = path_len
+        path_caps = np.zeros(columns)
+        path_caps[: self._count] = self._path_caps[: self._count]
+        self._path_caps = path_caps
+        self._link_flow_buffer = np.empty((n_links, columns))
+
+    def _append_flow(self, flow: FluidFlow) -> None:
+        """O(path) column edit: one arrival into the next free slot."""
+        self._grow_columns(1)
+        slot = self._count
+        for link in flow.path:
+            row = self._link_index[link]
+            self._incidence[row, slot] = True
+            self._incidence_f[row, slot] = 1.0
+        self._path_len[slot] = len(flow.path)
+        if self._path_caps_capacities is not None:
+            # Extend the path-capacity cache in O(path); a later capacity
+            # change is caught by the equality check in path_capacities.
+            self._path_caps[slot] = min(
+                self._path_caps_capacities[self._link_index[link]] for link in flow.path
+            )
+        self.flows.append(flow)
+        self.flow_ids.append(flow.flow_id)
+        self._slot_of[flow.flow_id] = slot
+        self.vec_utils.append(flow.utility)
+        self._count += 1
+
+    def _remove_flow(self, flow_id: FlowId) -> None:
+        """O(links) column edit: swap the last slot into the vacated one."""
+        slot = self._slot_of.pop(flow_id)
+        last = self._count - 1
+        if slot != last:
+            self._incidence[:, slot] = self._incidence[:, last]
+            self._incidence_f[:, slot] = self._incidence_f[:, last]
+            self._path_len[slot] = self._path_len[last]
+            self._path_caps[slot] = self._path_caps[last]
+            moved = self.flows[last]
+            self.flows[slot] = moved
+            self.flow_ids[slot] = moved.flow_id
+            self._slot_of[moved.flow_id] = slot
+            self.vec_utils.move(last, slot)
+        # Keep the invariant that columns beyond ``_count`` are all zero, so
+        # the next append only needs to touch its path's rows.
+        self._incidence[:, last] = False
+        self._incidence_f[:, last] = 0.0
+        self.flows.pop()
+        self.flow_ids.pop()
+        self.vec_utils.pop()
+        self._count = last
+
     def capacities_vector(self) -> np.ndarray:
-        """Current link capacities in compiled link order (re-read live)."""
-        capacities = self.network.capacities
-        return np.fromiter(
-            (capacities[link] for link in self.link_ids), dtype=float, count=len(self.link_ids)
-        )
+        """Current link capacities in compiled link order.
+
+        Memoized on :attr:`FluidNetwork.capacity_version`, so between
+        ``set_capacity`` calls this is a cached-array return rather than a
+        per-iteration dict walk.  Treat the result as read-only.
+        """
+        version = self.network.capacity_version
+        if self._capacities_vec is None or self._capacities_version != version:
+            capacities = self.network.capacities
+            self._capacities_vec = np.fromiter(
+                (capacities[link] for link in self.link_ids),
+                dtype=float,
+                count=len(self.link_ids),
+            )
+            self._capacities_version = version
+        return self._capacities_vec
 
     def path_capacities(self, capacities: np.ndarray) -> np.ndarray:
         """Per-flow narrowest-link capacity (the Eq. (7) weight clip).
 
-        Memoized on the capacity vector: capacities change rarely (only via
-        ``set_capacity``), so the L x F reduction is paid once per change,
-        not once per iteration.
+        Memoized on the capacity vector and maintained *incrementally*
+        across flow churn (O(path) per arrival, O(1) per departure): the
+        L x F reduction is paid once per capacity change, not once per
+        iteration or churn event.  Treat the result as read-only.
         """
-        if self._cached_capacities is not None and np.array_equal(
-            self._cached_capacities, capacities
+        if self._path_caps_capacities is not None and np.array_equal(
+            self._path_caps_capacities, capacities
         ):
-            return self._cached_path_capacities
-        path_capacities = np.where(self.incidence, capacities[:, None], np.inf).min(axis=0)
-        self._cached_capacities = capacities.copy()
-        self._cached_path_capacities = path_capacities
-        return path_capacities
+            return self._path_caps[: self._count]
+        self._path_caps[: self._count] = np.where(
+            self.incidence, capacities[:, None], np.inf
+        ).min(axis=0)
+        self._path_caps_capacities = capacities.copy()
+        return self._path_caps[: self._count]
 
     def path_prices(self, prices: np.ndarray) -> np.ndarray:
         """Per-flow sum of link prices along the path."""
         return self.incidence_f.T @ prices
 
+    @property
+    def link_flow_scratch(self) -> np.ndarray:
+        """The shared links x flow-columns scratch buffer.
+
+        For transient per-call use only (e.g. as :func:`waterfill_arrays`'
+        ``scratch``): :meth:`link_min` overwrites it on every call.
+        """
+        return self._link_flow_buffer
+
     def link_min(self, per_flow: np.ndarray) -> np.ndarray:
         """Per-link minimum of a per-flow quantity (``inf`` on empty links)."""
-        buffer = self._link_flow_buffer
+        buffer = self._link_flow_buffer[:, : self._count]
         buffer.fill(np.inf)
         np.copyto(buffer, per_flow[None, :], where=self.incidence)
         return buffer.min(axis=1)
@@ -373,10 +638,14 @@ class VectorizedBackendMixin:
 
     A simulator mixes this in, sets ``self._compiled = None`` in its
     constructor and calls :meth:`_ensure_compiled` at the top of each
-    vectorized step: the compiled snapshot is rebuilt only when the
-    network's flow/group set (or a flow's utility binding) changed, and
+    vectorized step: flow churn (and utility rebinds) are applied to the
+    compiled snapshot *incrementally* via
+    :meth:`CompiledFluidNetwork.refresh` -- O(path) column edits per
+    arrival/departure -- and only falls back to a full recompile when the
+    journal cannot cover the gap (or multipath groups are involved).
     :meth:`_on_recompile` gives the simulator a hook to realign any
-    per-flow state arrays (e.g. DCTCP's windows) with the new flow order.
+    per-flow state arrays (e.g. DCTCP's windows) with the new flow order;
+    it fires on incremental updates too, since departures reorder slots.
     """
 
     network: FluidNetwork
@@ -390,9 +659,15 @@ class VectorizedBackendMixin:
 
     def _ensure_compiled(self) -> CompiledFluidNetwork:
         compiled = self._compiled
-        if compiled is None or not compiled.is_current():
-            compiled = self._compiled = compile_network(self.network)
-            self._on_recompile(compiled)
+        if compiled is not None:
+            status = compiled.refresh()
+            if status == "current":
+                return compiled
+            if status == "updated":
+                self._on_recompile(compiled)
+                return compiled
+        compiled = self._compiled = compile_network(self.network)
+        self._on_recompile(compiled)
         return compiled
 
     def _on_recompile(self, compiled: CompiledFluidNetwork) -> None:
@@ -499,14 +774,22 @@ class CompiledMaxMin:
         return dict(zip(self.flow_ids, rates.tolist()))
 
     def solve_array(
-        self, weight_vec: np.ndarray, capacity_vec: Optional[np.ndarray] = None
+        self,
+        weight_vec: np.ndarray,
+        capacity_vec: Optional[np.ndarray] = None,
+        stats: Optional[Dict[str, int]] = None,
     ) -> np.ndarray:
-        """Zero-overhead solve: weights in, rates out, both in compiled order."""
+        """Zero-overhead solve: weights in, rates out, both in compiled order.
+
+        ``stats`` is forwarded to :func:`waterfill_arrays` (freezing-round /
+        distinct-level counters).
+        """
         return waterfill_arrays(
             self.incidence,
             self.incidence_f,
             weight_vec,
             self._capacities if capacity_vec is None else capacity_vec,
+            stats=stats,
         )
 
     def _capacity_vector(
@@ -528,49 +811,164 @@ def compile_max_min(
     return CompiledMaxMin(paths, capacities)
 
 
+#: Link count above which the batched waterfill runs its local-minimum
+#: *wave* detector; smaller fabrics freeze only exact tie groups per round
+#: (the dependency depth there approaches the level count, so the two
+#: masked-min passes of the wave detector cannot pay for themselves).
+_WATERFILL_WAVE_MIN_LINKS = 64
+
+
 def waterfill_arrays(
     incidence: np.ndarray,
     incidence_f: np.ndarray,
     weights: np.ndarray,
     capacities: np.ndarray,
+    batch_ties: bool = True,
+    stats: Optional[Dict[str, int]] = None,
+    scratch: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Weighted max-min water-filling on the compiled incidence structure.
 
-    Vectorized progressive filling (Bertsekas & Gallager): each round finds
-    the bottleneck link (smallest remaining-capacity / unfrozen-weight
-    ratio) and freezes its flows at ``weight * fair_share``.  At most one
-    round per link; every round is O(links x flows) array work.  Produces
-    the same (unique) allocation as the scalar reference in
-    :func:`repro.fluid.maxmin.weighted_max_min`.
+    Vectorized progressive filling (Bertsekas & Gallager) with *batched
+    multi-bottleneck rounds*.  Fair shares are non-decreasing as flows
+    freeze (freezing a bottleneck removes load and weight from other links
+    in proportion), so every link whose fair share is a **local minimum**
+    -- no unfrozen flow on it sees a smaller share on another of its links
+    -- is already at its final level and can freeze *in the same round*,
+    each at its own share.  That covers exact tie groups (many
+    same-capacity edge links at one level) and, beyond them, whole
+    independent regions of the fabric at different levels at once: the
+    Python round count scales with the depth of the bottleneck dependency
+    chain, bounded by the number of distinct bottleneck levels, instead of
+    the number of bottleneck links.  Every round is O(links x flows) array
+    work; the allocation matches the scalar reference in
+    :func:`repro.fluid.maxmin.weighted_max_min` (the same unique fixed
+    point, to floating-point reassociation -- 1e-9 gates in the tests and
+    the perf harness).
+
+    On small fabrics (few links) the dependency depth approaches the level
+    count, so the wave detection cannot reduce rounds; below
+    :data:`_WATERFILL_WAVE_MIN_LINKS` links each round batches only the
+    exact global-minimum tie group (one extra comparison) instead of
+    paying the two masked-min passes of the wave detector.
+
+    ``batch_ties=False`` keeps the one-bottleneck-per-round schedule (the
+    before/after reference for the perf harness).  ``stats``, when given,
+    receives ``"rounds"`` (freezing rounds executed) and ``"levels"``
+    (distinct fair-share levels frozen) for the round-count accounting.
+    ``scratch``, when given, must be a float array of at least
+    ``links x flows``: per-step callers (the xWI inner loop) pass a
+    persistent buffer so the wave detector's masked-min workspace is not
+    reallocated -- and its pages not re-faulted -- on every control-loop
+    iteration.
     """
     n_links, n_flows = incidence.shape
     rates = np.zeros(n_flows)
-    if n_flows == 0:
-        return rates
-    remaining = capacities.astype(float).copy()
-    unfrozen = np.ones(n_flows, dtype=bool)
-    active = incidence.any(axis=1)
-    unfrozen_weights = weights.astype(float).copy()  # zeroed as flows freeze
-    fair_share = np.empty(n_links)
-    flows_left = n_flows
-    while flows_left:
-        link_weight = incidence_f @ unfrozen_weights
-        fair_share.fill(np.inf)
-        np.divide(remaining, link_weight, out=fair_share, where=active & (link_weight > 0.0))
-        bottleneck = int(np.argmin(fair_share))
-        if not np.isfinite(fair_share[bottleneck]):
-            break  # leftover flows only cross capacity-exhausted links: rate 0
-        # Freeze only the bottleneck's flows: index-subset updates keep the
-        # total work across all rounds at O(links x flows), not per round.
-        frozen = np.nonzero(incidence[bottleneck] & unfrozen)[0]
-        frozen_rates = weights[frozen] * fair_share[bottleneck]
-        rates[frozen] = frozen_rates
-        remaining -= incidence_f[:, frozen] @ frozen_rates
-        np.maximum(remaining, 0.0, out=remaining)
-        unfrozen[frozen] = False
-        unfrozen_weights[frozen] = 0.0
-        active[bottleneck] = False
-        flows_left -= frozen.size
+    rounds = 0
+    levels: set = set()
+    if n_flows and batch_ties:
+        # The working set holds the still-unfrozen flows: frozen columns are
+        # first masked out in place (zero weight + an ``unfrozen`` mask) and
+        # the arrays are *compacted* only once at least half the columns are
+        # dead, so the total copy cost stays geometric while rounds that
+        # freeze few flows (small fabrics) pay no compaction at all.
+        remaining = capacities.astype(float).copy()
+        inc = incidence
+        inc_f = incidence_f
+        live_weights = weights.astype(float)
+        unfrozen = np.ones(n_flows, dtype=bool)
+        masked = 0  # frozen-in-place columns not yet compacted away
+        cols: Optional[np.ndarray] = None  # None = identity mapping
+        fair_share = np.empty(n_links)
+        use_waves = n_links >= _WATERFILL_WAVE_MIN_LINKS
+        if not use_waves:
+            buffer = None
+        elif (
+            scratch is not None
+            and scratch.shape[0] >= n_links
+            and scratch.shape[1] >= n_flows
+        ):
+            buffer = scratch[:n_links]
+        else:
+            buffer = np.empty((n_links, n_flows))
+        flows_left = n_flows
+        while flows_left:
+            link_weight = inc_f @ live_weights
+            carrying = link_weight > 0.0
+            fair_share.fill(np.inf)
+            np.divide(remaining, link_weight, out=fair_share, where=carrying)
+            min_share = fair_share.min()
+            if not np.isfinite(min_share):
+                break  # leftover flows only cross capacity-exhausted links: rate 0
+            width = live_weights.size
+            if use_waves:
+                window = buffer[:, :width]
+                live = inc & unfrozen[None, :] if masked else inc
+                # Per-flow bottleneck share: the minimum over the flow's links.
+                window.fill(np.inf)
+                np.copyto(window, fair_share[:, None], where=live)
+                flow_share = window.min(axis=0)
+                # A link freezes when every unfrozen flow on it bottlenecks
+                # *here*: its share is the minimum over each such flow's links.
+                window.fill(np.inf)
+                np.copyto(window, flow_share[None, :], where=live)
+                freezing = (fair_share <= window.min(axis=1)) & carrying
+                frozen = np.nonzero(inc[freezing].any(axis=0) & unfrozen)[0]
+                frozen_rates = live_weights[frozen] * flow_share[frozen]
+            else:
+                freezing = fair_share == min_share
+                frozen = np.nonzero(inc[freezing].any(axis=0) & unfrozen)[0]
+                frozen_rates = live_weights[frozen] * min_share
+            rates[frozen if cols is None else cols[frozen]] = frozen_rates
+            remaining -= inc_f[:, frozen] @ frozen_rates
+            np.maximum(remaining, 0.0, out=remaining)
+            if stats is not None:
+                levels.update(fair_share[freezing].tolist())
+            flows_left -= frozen.size
+            rounds += 1
+            if 2 * (masked + frozen.size) >= width:
+                alive = unfrozen
+                alive[frozen] = False
+                inc = inc[:, alive]
+                inc_f = inc_f[:, alive]
+                live_weights = live_weights[alive]
+                cols = np.nonzero(alive)[0] if cols is None else cols[alive]
+                unfrozen = np.ones(live_weights.size, dtype=bool)
+                masked = 0
+            else:
+                unfrozen[frozen] = False
+                live_weights[frozen] = 0.0
+                masked += frozen.size
+    elif n_flows:
+        # One-bottleneck-per-round reference schedule (perf-harness before/
+        # after baseline); same allocation, one Python round per bottleneck.
+        remaining = capacities.astype(float).copy()
+        unfrozen = np.ones(n_flows, dtype=bool)
+        unfrozen_weights = weights.astype(float).copy()  # zeroed as flows freeze
+        fair_share = np.empty(n_links)
+        flows_left = n_flows
+        while flows_left:
+            link_weight = incidence_f @ unfrozen_weights
+            fair_share.fill(np.inf)
+            np.divide(remaining, link_weight, out=fair_share, where=link_weight > 0.0)
+            bottleneck = int(np.argmin(fair_share))
+            share = fair_share[bottleneck]
+            if not np.isfinite(share):
+                break
+            frozen = np.nonzero(incidence[bottleneck] & unfrozen)[0]
+            frozen_rates = weights[frozen] * share
+            if stats is not None:
+                levels.add(float(share))
+            rates[frozen] = frozen_rates
+            remaining -= incidence_f[:, frozen] @ frozen_rates
+            np.maximum(remaining, 0.0, out=remaining)
+            unfrozen[frozen] = False
+            unfrozen_weights[frozen] = 0.0
+            flows_left -= frozen.size
+            rounds += 1
+    if stats is not None:
+        stats["rounds"] = rounds
+        stats["levels"] = len(levels)
     return rates
 
 

@@ -76,10 +76,16 @@ class XwiFluidSimulator(VectorizedBackendMixin):
         params: Optional[NumFabricParameters] = None,
         initial_price: float = 0.0,
         backend: str = "scalar",
+        record_detail: bool = True,
     ):
         self.network = network
         self.params = params or NumFabricParameters()
         self.backend = self._check_backend(backend, "xWI")
+        #: When false, per-step records carry only the rates (prices and
+        #: weights are left empty) -- the policy-driven dynamic experiments
+        #: read nothing else, and skipping the two dict builds per step is
+        #: measurable at paper scale.
+        self.record_detail = record_detail
         self.prices: Dict[LinkId, float] = {link: initial_price for link in network.links}
         self.iteration = 0
         self.last_rates: Dict[FlowId, float] = {}
@@ -154,8 +160,14 @@ class XwiFluidSimulator(VectorizedBackendMixin):
         np.maximum(weight_vec, _WEIGHT_FLOOR, out=weight_vec)
 
         # Swift settles to the weighted max-min allocation for those weights.
+        # The compiled link x flow buffer doubles as the waterfill scratch
+        # (link_min reuses it later in the step, strictly afterwards).
         rate_vec = waterfill_arrays(
-            compiled.incidence, compiled.incidence_f, weight_vec, capacities
+            compiled.incidence,
+            compiled.incidence_f,
+            weight_vec,
+            capacities,
+            scratch=compiled.link_flow_scratch,
         )
         rates = dict(zip(compiled.flow_ids, rate_vec.tolist()))
         self.last_rates = rates
@@ -175,8 +187,10 @@ class XwiFluidSimulator(VectorizedBackendMixin):
         record = XwiIterationRecord(
             iteration=self.iteration,
             rates=rates,
-            prices=dict(self.prices),
-            weights=dict(zip(compiled.flow_ids, weight_vec.tolist())),
+            prices=dict(self.prices) if self.record_detail else {},
+            weights=dict(zip(compiled.flow_ids, weight_vec.tolist()))
+            if self.record_detail
+            else {},
         )
         self.iteration += 1
         return record
@@ -220,8 +234,8 @@ class XwiFluidSimulator(VectorizedBackendMixin):
         record = XwiIterationRecord(
             iteration=self.iteration,
             rates=dict(rates),
-            prices=dict(self.prices),
-            weights=weights,
+            prices=dict(self.prices) if self.record_detail else {},
+            weights=weights if self.record_detail else {},
         )
         self.iteration += 1
         return record

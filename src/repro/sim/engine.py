@@ -88,7 +88,9 @@ class Simulator:
         heapq.heappush(self._queue, (time, next(self._sequence), handle, callback, args))
         return handle
 
-    def schedule_uncancellable(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+    def schedule_uncancellable(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> None:
         """Schedule an event that can never be cancelled; returns no handle.
 
         The hot-path variant of :meth:`schedule` for fire-and-forget events

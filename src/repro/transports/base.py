@@ -39,7 +39,9 @@ class TransportScheme(ABC):
         return None
 
     @abstractmethod
-    def create_connection(self, network, flow: FlowDescriptor) -> Tuple["SenderBase", "ReceiverBase"]:
+    def create_connection(
+        self, network, flow: FlowDescriptor
+    ) -> Tuple["SenderBase", "ReceiverBase"]:
         """Create the (sender, receiver) endpoints of one flow."""
 
 

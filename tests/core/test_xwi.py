@@ -38,9 +38,10 @@ class TestNormalizedResidual:
     def test_zero_at_optimum(self):
         utility = LogUtility()
         rate = 4.0
-        assert normalized_residual(utility, rate, path_price=utility.marginal(rate), path_length=3) == (
-            pytest.approx(0.0)
+        residual = normalized_residual(
+            utility, rate, path_price=utility.marginal(rate), path_length=3
         )
+        assert residual == pytest.approx(0.0)
 
     def test_path_length_must_be_positive(self):
         with pytest.raises(ValueError):

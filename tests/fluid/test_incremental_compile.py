@@ -1,0 +1,177 @@
+"""Incremental incidence compilation vs full recompiles.
+
+``CompiledFluidNetwork.refresh`` replays the network's churn journal as
+O(path) column edits (arrivals append a column, departures swap-remove
+one).  These tests pin the contract the vectorized backends rely on: after
+any sequence of arrivals/departures, the incrementally maintained arrays
+are *identical* -- up to the documented slot permutation -- to a compile
+from scratch, and the journal machinery degrades safely (full recompile)
+whenever it cannot replay.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.utility import AlphaFairUtility, FctUtility, LogUtility
+from repro.fluid.network import FlowGroup, FluidFlow, FluidNetwork
+from repro.fluid.vectorized import compile_network
+
+LINKS = {"a": 1e9, "b": 2e9, "c": 4e9, "d": 8e9}
+
+
+def _utility(kind: int, parameter: float):
+    if kind == 0:
+        return LogUtility(weight=parameter)
+    if kind == 1:
+        return AlphaFairUtility(alpha=parameter)
+    return FctUtility(flow_size=1e4 * parameter)
+
+
+def assert_matches_full_compile(incremental, network):
+    """The incremental snapshot must equal a fresh compile, per flow id."""
+    full = compile_network(network)
+    assert sorted(incremental.flow_ids, key=repr) == sorted(full.flow_ids, key=repr)
+    assert incremental.version == full.version
+    full_slot = {flow_id: j for j, flow_id in enumerate(full.flow_ids)}
+    for slot, flow_id in enumerate(incremental.flow_ids):
+        reference = full_slot[flow_id]
+        np.testing.assert_array_equal(
+            incremental.incidence[:, slot], full.incidence[:, reference]
+        )
+        np.testing.assert_array_equal(
+            incremental.incidence_f[:, slot], full.incidence_f[:, reference]
+        )
+        assert incremental.path_len[slot] == full.path_len[reference]
+        assert incremental.flows[slot] is full.flows[reference]
+        assert incremental.vec_utils.utilities[slot] is full.vec_utils.utilities[reference]
+    # Utility parameters: evaluate both on a per-slot-aligned rate vector.
+    if incremental.flow_ids:
+        rng = np.random.default_rng(0)
+        rates_inc = rng.uniform(1e3, 1e9, size=len(incremental.flow_ids))
+        rates_full = np.empty_like(rates_inc)
+        for slot, flow_id in enumerate(incremental.flow_ids):
+            rates_full[full_slot[flow_id]] = rates_inc[slot]
+        marg_inc = incremental.vec_utils.marginal(rates_inc)
+        marg_full = full.vec_utils.marginal(rates_full)
+        value_inc = incremental.vec_utils.value(rates_inc)
+        value_full = full.vec_utils.value(rates_full)
+        for slot, flow_id in enumerate(incremental.flow_ids):
+            assert marg_inc[slot] == marg_full[full_slot[flow_id]]
+            assert value_inc[slot] == value_full[full_slot[flow_id]]
+        capacities = incremental.capacities_vector()
+        path_inc = incremental.path_capacities(capacities)
+        path_full = full.path_capacities(full.capacities_vector())
+        for slot, flow_id in enumerate(incremental.flow_ids):
+            assert path_inc[slot] == path_full[full_slot[flow_id]]
+
+
+@st.composite
+def churn_programs(draw):
+    """A sequence of add/remove operations over a fixed 4-link network."""
+    n_ops = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    for _ in range(n_ops):
+        ops.append(
+            (
+                draw(st.sampled_from(["add", "add", "remove"])),
+                draw(st.integers(min_value=0, max_value=2)),  # utility kind
+                draw(st.floats(min_value=0.5, max_value=4.0)),  # utility parameter
+                draw(st.integers(min_value=0, max_value=2**16)),  # path seed
+            )
+        )
+    return ops
+
+
+class TestIncrementalEqualsFullCompile:
+    @settings(max_examples=60, deadline=None)
+    @given(program=churn_programs())
+    def test_randomized_add_remove_sequences(self, program):
+        network = FluidNetwork(dict(LINKS))
+        compiled = compile_network(network)
+        next_id = 0
+        link_names = list(LINKS)
+        for op, kind, parameter, path_seed in program:
+            if op == "remove" and network.flows:
+                victims = network.flow_ids
+                network.remove_flow(victims[path_seed % len(victims)])
+            else:
+                length = 1 + path_seed % len(link_names)
+                start = path_seed % len(link_names)
+                path = tuple(
+                    link_names[(start + i) % len(link_names)] for i in range(length)
+                )
+                network.add_flow(FluidFlow(next_id, path, _utility(kind, parameter)))
+                next_id += 1
+            assert compiled.refresh() == "updated"
+            assert_matches_full_compile(compiled, network)
+
+    def test_every_churn_step_stays_in_sync(self):
+        network = FluidNetwork(dict(LINKS))
+        compiled = compile_network(network)
+        for i in range(8):
+            network.add_flow(FluidFlow(i, ("a", "b"), LogUtility(weight=i + 1.0)))
+        assert compiled.refresh() == "updated"
+        assert_matches_full_compile(compiled, network)
+        for i in (1, 3, 5):
+            network.remove_flow(i)
+        assert compiled.refresh() == "updated"
+        assert_matches_full_compile(compiled, network)
+        assert compiled.refresh() == "current"
+
+
+class TestRefreshFallbacks:
+    def test_journal_overflow_forces_recompile(self):
+        from repro.fluid import network as network_module
+
+        network = FluidNetwork(dict(LINKS))
+        compiled = compile_network(network)
+        for i in range(network_module._JOURNAL_LIMIT + 10):
+            network.add_flow(FluidFlow(i, ("a",), LogUtility()))
+        assert network.churn_since(compiled.version) is None
+        assert compiled.refresh() == "stale"
+
+    def test_group_churn_forces_recompile(self):
+        network = FluidNetwork(dict(LINKS))
+        compiled = compile_network(network)
+        network.add_group(FlowGroup("g", LogUtility()))
+        assert compiled.refresh() == "stale"
+
+    def test_grouped_member_arrival_forces_recompile(self):
+        network = FluidNetwork(dict(LINKS))
+        network.add_group(FlowGroup("g", LogUtility()))
+        compiled = compile_network(network)
+        network.add_flow(FluidFlow("sub", ("a",), LogUtility(), group_id="g"))
+        assert compiled.refresh() == "stale"
+
+    def test_utility_rebind_updates_in_place(self):
+        network = FluidNetwork(dict(LINKS))
+        network.add_flow(FluidFlow(0, ("a",), LogUtility()))
+        compiled = compile_network(network)
+        network.flow(0).utility = LogUtility(weight=7.0)
+        assert compiled.refresh() == "updated"
+        assert compiled.vec_utils.marginal(np.array([1.0]))[0] == pytest.approx(7.0)
+        assert_matches_full_compile(compiled, network)
+
+
+class TestChurnJournal:
+    def test_events_in_order(self):
+        network = FluidNetwork(dict(LINKS))
+        base = network.topology_version
+        flow = network.add_flow(FluidFlow(0, ("a",), LogUtility()))
+        network.remove_flow(0)
+        events = network.churn_since(base)
+        assert [(op, payload.flow_id) for _, op, payload in events] == [
+            ("add", 0),
+            ("remove", 0),
+        ]
+        assert flow is events[0][2]
+
+    def test_no_churn_is_empty(self):
+        network = FluidNetwork(dict(LINKS))
+        assert network.churn_since(network.topology_version) == []
+
+    def test_future_version_is_unreplayable(self):
+        network = FluidNetwork(dict(LINKS))
+        assert network.churn_since(network.topology_version + 1) is None
