@@ -19,3 +19,8 @@ def pytest_configure(config):
         "perf_smoke: fast smoke-mode run of the benchmarks/perf harness "
         '(deselect with -m "not perf_smoke")',
     )
+    config.addinivalue_line(
+        "markers",
+        "scenario_smoke: every registered scenario at toy scale on all of its "
+        'engines (deselect with -m "not scenario_smoke")',
+    )

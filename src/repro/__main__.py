@@ -1,0 +1,97 @@
+"""Command-line front end for the scenario registry.
+
+Usage::
+
+    python -m repro list [--tag TAG]
+    python -m repro run <scenario> [--engine ENGINE] [--seed SEED]
+                        [--scale {toy,paper}] [--quiet]
+
+``list`` prints every registered scenario with its supported engines;
+``run`` executes one through :func:`repro.scenarios.run_scenario` and
+prints the resulting table.  Examples, benchmarks and the smoke suite
+drive the same registry, so anything listed here is exactly what they run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.results import format_table
+from repro.scenarios import get_scenario, list_scenarios, run_scenario
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for entry in list_scenarios():
+        if args.tag and args.tag not in entry.tags:
+            continue
+        rows.append(
+            {
+                "scenario": entry.name,
+                "engines": "+".join(entry.engines),
+                "default": entry.default_engine,
+                "tags": ",".join(entry.tags),
+                "description": entry.description,
+            }
+        )
+    print(format_table(rows))
+    print(f"\n{len(rows)} scenario(s); run one with: python -m repro run <scenario>")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = get_scenario(args.scenario, scale=args.scale)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        result = run_scenario(spec, engine=args.engine, seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.quiet:
+        print(
+            f"[{result.experiment_id}] engine={result.artifacts['engine']} "
+            f"rows={len(result.rows)}"
+        )
+    else:
+        print(result)
+        print(f"\n(engine={result.artifacts['engine']}, rows={len(result.rows)})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run NUMFabric reproduction scenarios from the registry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="list registered scenarios")
+    list_parser.add_argument("--tag", help="only scenarios carrying this tag")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run one scenario")
+    run_parser.add_argument("scenario", help="registered scenario name (see `list`)")
+    run_parser.add_argument("--engine", help="execution engine (fluid/flow/packet)")
+    run_parser.add_argument("--seed", type=int, help="override the scenario seed")
+    run_parser.add_argument(
+        "--scale", choices=("toy", "paper"), default="toy", help="problem size (default: toy)"
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="print a one-line summary instead of the table"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,13 +1,18 @@
 """Experiment harnesses: one module per table/figure of the paper's evaluation.
 
-Every harness returns an :class:`~repro.experiments.registry.ExperimentResult`
-whose rows mirror the series the paper plots, so a benchmark (or a user at a
-REPL) can print the same numbers the figure shows.  Default parameters are
-scaled down so each harness completes in seconds; pass ``paper_scale=True``
-(or the full-size parameters explicitly) to run the published configuration.
+Every harness returns an :class:`~repro.results.ExperimentResult` whose rows
+mirror the series the paper plots, so a benchmark (or a user at a REPL) can
+print the same numbers the figure shows.  Default parameters are scaled down
+so each harness completes in seconds; pass ``paper_scale=True`` (or the
+full-size parameters explicitly) to run the published configuration.
+
+Since the scenario-subsystem refactor every harness is a thin layer: it
+builds declarative specs (:mod:`repro.scenarios.catalog`), submits them to
+:func:`repro.scenarios.run_scenario` and post-processes the returned rows
+and artifacts into the figure's series.
 """
 
-from repro.experiments.registry import ExperimentResult, format_table
+from repro.results import ExperimentResult, format_table
 from repro.experiments.fig4_convergence import (
     run_convergence_cdf,
     run_rate_timeseries,

@@ -10,16 +10,17 @@ Expected allocations (from the bandwidth functions):
 * middle = 5 Gbps: Flow 1 gets 10 Gbps total (5 private + 5 shared), Flow 2
   gets 3 Gbps (its private link only);
 * middle = 17 Gbps: Flow 1 gets 15 Gbps, Flow 2 gets 10 Gbps.
+
+The whole experiment -- topology, grouped flows and the mid-run capacity
+change -- is one :func:`~repro.scenarios.catalog.bwfunction_pooling_spec`;
+the harness just bins the recorded timeseries.
 """
 
 from __future__ import annotations
 
-from repro.core.bandwidth_function import fig2_flow1, fig2_flow2
-from repro.core.utility import BandwidthFunctionUtility, LogUtility
-from repro.experiments.registry import ExperimentResult
-from repro.fluid.network import FlowGroup, FluidFlow
-from repro.fluid.topologies import two_path_pooling
-from repro.fluid.xwi import XwiFluidSimulator
+from repro.results import ExperimentResult
+from repro.scenarios.catalog import bwfunction_pooling_spec
+from repro.scenarios.runner import run_scenario
 
 
 def run_bwfunction_pooling_timeseries(
@@ -30,17 +31,16 @@ def run_bwfunction_pooling_timeseries(
     record_every: int = 5,
 ) -> ExperimentResult:
     """Reproduce Fig. 10: aggregate throughput of both flows across the capacity change."""
-    network = two_path_pooling(
-        top_capacity=5e9, middle_capacity=initial_middle_gbps * 1e9, bottom_capacity=3e9
+    spec = bwfunction_pooling_spec(
+        iterations_per_phase=iterations_per_phase,
+        initial_middle_gbps=initial_middle_gbps,
+        final_middle_gbps=final_middle_gbps,
+        alpha=alpha,
     )
-    network.add_group(FlowGroup("flow1", BandwidthFunctionUtility(fig2_flow1(), alpha)))
-    network.add_group(FlowGroup("flow2", BandwidthFunctionUtility(fig2_flow2(), alpha)))
-    network.add_flow(FluidFlow("flow1_private", ("top",), LogUtility(), group_id="flow1"))
-    network.add_flow(FluidFlow("flow1_shared", ("middle",), LogUtility(), group_id="flow1"))
-    network.add_flow(FluidFlow("flow2_private", ("bottom",), LogUtility(), group_id="flow2"))
-    network.add_flow(FluidFlow("flow2_shared", ("middle",), LogUtility(), group_id="flow2"))
+    run = run_scenario(spec)
+    timeseries = run.artifacts["timeseries"]
+    seconds_per_iteration = run.artifacts["seconds_per_iteration"]
 
-    simulator = XwiFluidSimulator(network)
     result = ExperimentResult(
         experiment_id="fig10",
         title="Bandwidth functions + resource pooling across a capacity change",
@@ -52,22 +52,17 @@ def run_bwfunction_pooling_timeseries(
         flow2 = rates.get("flow2_private", 0.0) + rates.get("flow2_shared", 0.0)
         result.add_row(
             step=step,
-            time_ms=step * simulator.seconds_per_iteration * 1e3,
+            time_ms=step * seconds_per_iteration * 1e3,
             phase=phase,
             flow1_gbps=flow1 / 1e9,
             flow2_gbps=flow2 / 1e9,
         )
 
-    for step in range(iterations_per_phase):
-        rec = simulator.step()
-        if step % record_every == 0 or step == iterations_per_phase - 1:
-            record(step, f"middle={initial_middle_gbps:g}G", rec.rates)
-
-    network.set_capacity("middle", final_middle_gbps * 1e9)
-    for step in range(iterations_per_phase, 2 * iterations_per_phase):
-        rec = simulator.step()
-        if step % record_every == 0 or step == 2 * iterations_per_phase - 1:
-            record(step, f"middle={final_middle_gbps:g}G", rec.rates)
+    for step, rates in enumerate(timeseries):
+        phase_gbps = initial_middle_gbps if step < iterations_per_phase else final_middle_gbps
+        end_of_phase = step in (iterations_per_phase - 1, 2 * iterations_per_phase - 1)
+        if step % record_every == 0 or end_of_phase:
+            record(step, f"middle={phase_gbps:g}G", rates)
 
     result.notes = (
         "Before the change Flow 1 pools 10 Gbps (its private 5 Gbps link plus the whole "

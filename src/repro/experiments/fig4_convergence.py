@@ -9,6 +9,11 @@ The experiment runs on the fluid engine: each iteration of a scheme is one
 of its update intervals, so iteration counts convert directly to
 microseconds.  The network is the paper's 128-server leaf-spine fabric with
 proportional-fairness utilities.
+
+Both harnesses are thin layers over the scenario subsystem: the
+semi-dynamic event loop and the mid-run departure churn live in
+:func:`~repro.scenarios.run_scenario`'s fluid engine, and each scheme runs
+the identical seeded scenario spec.
 """
 
 from __future__ import annotations
@@ -17,18 +22,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.analysis.stats import percentile
-from repro.core.config import SimulationParameters
-from repro.core.utility import LogUtility
-from repro.experiments.registry import ExperimentResult
-from repro.fluid.convergence import ConvergenceCriterion, convergence_iterations
-from repro.fluid.dctcp import DctcpFluidSimulator
-from repro.fluid.dgd import DgdFluidSimulator
-from repro.fluid.network import FluidFlow, FluidNetwork
-from repro.fluid.oracle import solve_num
-from repro.fluid.rcp import RcpStarFluidSimulator
-from repro.fluid.topologies import LeafSpineFluid, leaf_spine
-from repro.fluid.xwi import XwiFluidSimulator
-from repro.workloads.semidynamic import SemiDynamicScenario
+from repro.results import ExperimentResult
+from repro.fluid.convergence import ConvergenceCriterion
+from repro.scenarios.catalog import semidynamic_convergence_spec, single_link_churn_spec
+from repro.scenarios.runner import run_scenario
 
 
 @dataclass
@@ -60,28 +57,6 @@ class ConvergenceSettings:
         )
 
 
-def _build_fabric(settings: ConvergenceSettings) -> LeafSpineFluid:
-    params = SimulationParameters(
-        num_servers=settings.num_servers,
-        num_leaves=settings.num_leaves,
-        num_spines=settings.num_spines,
-    )
-    return leaf_spine(params)
-
-
-def _sync_flows(network: FluidNetwork, fabric: LeafSpineFluid,
-                scenario: SemiDynamicScenario, active_ids) -> None:
-    """Make the network's flow set equal to the scenario's active path set."""
-    active = set(active_ids)
-    existing = set(network.flow_ids)
-    for flow_id in existing - active:
-        network.remove_flow(flow_id)
-    for path_id in active - existing:
-        candidate = scenario.path(path_id)
-        path = fabric.path(candidate.source, candidate.destination, spine=candidate.spine)
-        network.add_flow(FluidFlow(path_id, path, LogUtility()))
-
-
 def run_convergence_cdf(
     settings: Optional[ConvergenceSettings] = None,
     criterion: Optional[ConvergenceCriterion] = None,
@@ -95,59 +70,40 @@ def run_convergence_cdf(
     event becomes practical.  Pass ``backend="scalar"`` to run the reference
     implementations instead (the escape hatch; results are identical within
     the parity tolerance).
+
+    Each scheme runs the *same* seeded scenario spec, so all three see an
+    identical sequence of network events.
     """
     settings = settings or ConvergenceSettings()
     criterion = criterion or ConvergenceCriterion(hold_iterations=3)
-    fabric = _build_fabric(settings)
-    scenario = SemiDynamicScenario(
-        num_servers=settings.num_servers,
-        num_paths=settings.num_paths,
-        flows_per_event=settings.flows_per_event,
-        min_active=settings.min_active,
-        max_active=settings.max_active,
-        num_spines=settings.num_spines,
-        seed=settings.seed,
-    )
-    scenario.initialize()
 
-    # Each scheme owns its own copy of the fabric so their states are
-    # independent; all see the same sequence of events.
-    fabrics = {
-        "NUMFabric": fabric,
-        "DGD": _build_fabric(settings),
-        "RCP*": _build_fabric(settings),
-    }
-    simulators = {
-        "NUMFabric": XwiFluidSimulator(fabrics["NUMFabric"].network, backend=backend),
-        "DGD": DgdFluidSimulator(fabrics["DGD"].network, backend=backend),
-        "RCP*": RcpStarFluidSimulator(fabrics["RCP*"].network, backend=backend),
-    }
+    # All three schemes replay the identical seeded event sequence, so the
+    # per-event Oracle reference allocations are shared through one cache.
+    oracle_cache: Dict = {}
+    convergence_times: Dict[str, List[float]] = {}
+    for scheme_name in ("NUMFabric", "DGD", "RCP*"):
+        spec = semidynamic_convergence_spec(
+            scheme_name=scheme_name,
+            num_servers=settings.num_servers,
+            num_leaves=settings.num_leaves,
+            num_spines=settings.num_spines,
+            num_paths=settings.num_paths,
+            flows_per_event=settings.flows_per_event,
+            min_active=settings.min_active,
+            max_active=settings.max_active,
+            num_events=settings.num_events,
+            max_iterations=settings.max_iterations,
+            seed=settings.seed,
+            backend=backend,
+        )
+        run = run_scenario(spec, criterion=criterion, oracle_cache=oracle_cache)
+        convergence_times[scheme_name] = run.artifacts["convergence_seconds"]
 
-    convergence_times: Dict[str, List[float]] = {name: [] for name in simulators}
-    events = scenario.events(settings.num_events)
     result = ExperimentResult(
         experiment_id="fig4a",
         title="CDF of convergence time after semi-dynamic network events",
         paper_reference="Figure 4(a)",
     )
-
-    for event in events:
-        # Update the flow sets of every scheme's network, then let each
-        # scheme iterate until it converges to the new Oracle allocation.
-        oracle_rates = None
-        for name, simulator in simulators.items():
-            _sync_flows(simulator.network, fabrics[name], scenario, event.active_after)
-            if oracle_rates is None:
-                oracle_rates = solve_num(simulator.network).rates
-            simulator.history = []
-            simulator.run(settings.max_iterations)
-            iterations = convergence_iterations(
-                simulator.rate_history(), oracle_rates, criterion
-            )
-            if iterations is None:
-                iterations = settings.max_iterations
-            convergence_times[name].append(iterations * simulator.seconds_per_iteration)
-
     for name, times in convergence_times.items():
         result.add_row(
             scheme=name,
@@ -184,33 +140,34 @@ def run_rate_timeseries(
     rate within a few price updates.  Both simulators run on the vectorized
     fluid backend by default (``backend="scalar"`` is the escape hatch).
     """
-    def build() -> FluidNetwork:
-        return FluidNetwork.single_link(link_capacity, num_flows)
+    timeseries: Dict[str, List[Dict]] = {}
+    for scheme_name in ("DCTCP", "NUMFabric"):
+        spec = single_link_churn_spec(
+            scheme_name=scheme_name,
+            num_flows=num_flows,
+            link_capacity=link_capacity,
+            iterations=iterations,
+            change_at=change_at,
+            backend=backend,
+        )
+        timeseries[scheme_name] = run_scenario(spec).artifacts["timeseries"]
 
     result = ExperimentResult(
         experiment_id="fig4bc",
         title="Rate of a typical flow: DCTCP vs NUMFabric",
         paper_reference="Figure 4(b), 4(c)",
     )
+    # One xWI iteration is one price-update interval.
+    from repro.core.config import NumFabricParameters
 
-    dctcp_network = build()
-    dctcp = DctcpFluidSimulator(dctcp_network, backend=backend)
-    numfabric_network = build()
-    numfabric = XwiFluidSimulator(numfabric_network, backend=backend)
-
+    seconds_per_iteration = NumFabricParameters().price_update_interval
     for step in range(iterations):
-        if step == change_at:
-            for flow_id in range(num_flows // 2, num_flows):
-                dctcp_network.remove_flow(flow_id)
-                numfabric_network.remove_flow(flow_id)
-        dctcp_record = dctcp.step()
-        numfabric_record = numfabric.step()
         expected = link_capacity / (num_flows if step < change_at else num_flows // 2)
         result.add_row(
             step=step,
-            time_us=step * numfabric.seconds_per_iteration * 1e6,
-            dctcp_rate_gbps=dctcp_record.rates.get(0, 0.0) / 1e9,
-            numfabric_rate_gbps=numfabric_record.rates.get(0, 0.0) / 1e9,
+            time_us=step * seconds_per_iteration * 1e6,
+            dctcp_rate_gbps=timeseries["DCTCP"][step].get(0, 0.0) / 1e9,
+            numfabric_rate_gbps=timeseries["NUMFabric"][step].get(0, 0.0) / 1e9,
             expected_rate_gbps=expected / 1e9,
         )
     result.notes = (

@@ -5,6 +5,11 @@ each scheme the per-flow average rate (size / completion time) is compared
 to what the flow would have achieved under an Oracle that assigns optimal
 NUM rates instantaneously.  Deviations are binned by flow size in BDPs and
 summarized with box statistics, as in the paper.
+
+The harness is a thin layer over the declarative scenario subsystem: one
+:func:`~repro.scenarios.catalog.deviation_spec` per scheme, executed by
+:func:`~repro.scenarios.run_scenario` on the flow-level engine, with the
+BDP binning as post-processing.
 """
 
 from __future__ import annotations
@@ -14,19 +19,9 @@ from typing import Dict, List, Optional
 
 from repro.analysis.deviation import DeviationBin, bin_by_bdp, normalized_deviation
 from repro.core.config import SimulationParameters
-from repro.experiments.dynamic_fluid import (
-    FlowLevelSimulation,
-    OracleRatePolicy,
-    scheme_rate_policy,
-)
-from repro.experiments.registry import ExperimentResult
-from repro.fluid.topologies import leaf_spine
-from repro.workloads.distributions import (
-    FlowSizeDistribution,
-    enterprise_distribution,
-    web_search_distribution,
-)
-from repro.workloads.poisson import FlowArrival, PoissonTrafficGenerator
+from repro.results import ExperimentResult
+from repro.scenarios.catalog import deviation_spec
+from repro.scenarios.runner import run_scenario
 
 
 @dataclass
@@ -47,33 +42,26 @@ class DeviationSettings:
 
 def _run_one_scheme(
     scheme: str,
-    arrivals: List[FlowArrival],
+    workload: str,
     settings: DeviationSettings,
     backend: str = "vectorized",
     flow_backend: str = "array",
 ) -> Dict[int, float]:
     """Run the workload under one scheme; return per-flow average rates."""
-    params = SimulationParameters(
+    spec = deviation_spec(
+        scheme_name=scheme,
+        workload=workload,
         num_servers=settings.num_servers,
         num_leaves=settings.num_leaves,
         num_spines=settings.num_spines,
+        load=settings.load,
+        num_flows=settings.num_flows,
+        seed=settings.seed,
+        backend=backend,
+        flow_backend=flow_backend,
     )
-    fabric = leaf_spine(params)
-
-    def path_for(arrival: FlowArrival):
-        # Deterministic per-flow spine choice so every scheme sees identical paths.
-        spine = arrival.flow_id % params.num_spines
-        return fabric.path(arrival.source, arrival.destination, spine=spine)
-
-    if scheme == "Oracle":
-        policy = OracleRatePolicy()
-    else:
-        policy = scheme_rate_policy(scheme, backend=backend)
-    simulation = FlowLevelSimulation(
-        fabric.network, path_for, policy, backend=flow_backend
-    )
-    completed = simulation.run(arrivals)
-    return {flow.flow_id: flow.average_rate for flow in completed}
+    result = run_scenario(spec)
+    return {flow.flow_id: flow.average_rate for flow in result.artifacts["completions"]}
 
 
 def run_deviation_experiment(
@@ -96,27 +84,34 @@ def run_deviation_experiment(
     settings = settings or DeviationSettings()
     schemes = schemes or ["NUMFabric", "DGD", "RCP*"]
     if workload == "websearch":
-        distribution: FlowSizeDistribution = web_search_distribution()
         reference = "Figure 5(a)"
     elif workload == "enterprise":
-        distribution = enterprise_distribution()
         reference = "Figure 5(b)"
     else:
         raise ValueError(f"unknown workload {workload!r}; use 'websearch' or 'enterprise'")
 
-    generator = PoissonTrafficGenerator(
+    # Every scheme replays the identical seeded arrival sequence; the sizes
+    # for BDP binning come from the Oracle run's materialized arrivals.
+    oracle_spec = deviation_spec(
+        scheme_name="Oracle",
+        workload=workload,
         num_servers=settings.num_servers,
-        size_distribution=distribution,
+        num_leaves=settings.num_leaves,
+        num_spines=settings.num_spines,
         load=settings.load,
+        num_flows=settings.num_flows,
         seed=settings.seed,
+        backend=backend,
+        flow_backend=flow_backend,
     )
-    arrivals = generator.generate(max_flows=settings.num_flows)
-    flow_sizes = {a.flow_id: float(a.size_bytes) for a in arrivals}
+    oracle_run = run_scenario(oracle_spec)
+    ideal_rates = {
+        flow.flow_id: flow.average_rate for flow in oracle_run.artifacts["completions"]
+    }
+    flow_sizes = {
+        a.flow_id: float(a.size_bytes) for a in oracle_run.artifacts["arrivals"]
+    }
     bdp_bytes = SimulationParameters().bandwidth_delay_product_bytes
-
-    ideal_rates = _run_one_scheme(
-        "Oracle", arrivals, settings, backend=backend, flow_backend=flow_backend
-    )
 
     result = ExperimentResult(
         experiment_id=f"fig5_{workload}",
@@ -125,7 +120,7 @@ def run_deviation_experiment(
     )
     for scheme in schemes:
         achieved = _run_one_scheme(
-            scheme, arrivals, settings, backend=backend, flow_backend=flow_backend
+            scheme, workload, settings, backend=backend, flow_backend=flow_backend
         )
         deviations = {
             flow_id: normalized_deviation(achieved[flow_id], ideal)

@@ -5,6 +5,10 @@
 * Fig. 6(b): the xWI price-update interval.
 * Fig. 6(c): the utility-function exponent alpha, with and without the 2x
   slowed-down control loop.
+
+Every sweep point is one scenario spec -- the star-topology convergence
+scenario on the fluid engine for (b)/(c), the packet-level single-link
+scenario for (a) -- run through :func:`~repro.scenarios.run_scenario`.
 """
 
 from __future__ import annotations
@@ -12,49 +16,28 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.config import NumFabricParameters
-from repro.core.utility import AlphaFairUtility, LogUtility
-from repro.experiments.registry import ExperimentResult
-from repro.fluid.convergence import ConvergenceCriterion, convergence_iterations
-from repro.fluid.network import FluidFlow, FluidNetwork
-from repro.fluid.oracle import solve_num
-from repro.fluid.xwi import XwiFluidSimulator
-from repro.sim.flow import FlowDescriptor
-from repro.sim.topology import single_link_network
-from repro.transports.numfabric import NumFabricScheme
+from repro.results import ExperimentResult
+from repro.scenarios.catalog import delay_slack_spec, star_convergence_spec
+from repro.scenarios.runner import run_scenario
 
 
 def _convergence_time_fluid(
-    network: FluidNetwork, params: NumFabricParameters, max_iterations: int = 400,
+    alpha: float,
+    params: NumFabricParameters,
+    max_iterations: int = 400,
     backend: str = "vectorized",
 ) -> Optional[float]:
-    """Convergence time (seconds) of fluid xWI on a given network.
+    """Convergence time (seconds) of fluid xWI on the Fig. 6 star network.
 
     The NumPy fluid backend is the default -- same convergence results (the
     backends agree to ~1e-12), much faster sweeps at larger flow counts;
     ``backend="scalar"`` runs the reference implementation instead.
     """
-    optimal = solve_num(network).rates
-    simulator = XwiFluidSimulator(network, params=params, backend=backend)
-    simulator.run(max_iterations)
-    iterations = convergence_iterations(
-        simulator.rate_history(), optimal, ConvergenceCriterion(hold_iterations=3)
+    spec = star_convergence_spec(
+        alpha=alpha, params=params, max_iterations=max_iterations, backend=backend
     )
-    if iterations is None:
-        return None
-    return iterations * params.price_update_interval
-
-
-def _star_network(num_flows: int = 20, num_links: int = 6, capacity: float = 10e9,
-                  alpha: float = 1.0) -> FluidNetwork:
-    """A multi-bottleneck network: flows randomly spread over a few links."""
-    network = FluidNetwork({f"l{i}": capacity for i in range(num_links)})
-    for i in range(num_flows):
-        first = i % num_links
-        second = (i * 3 + 1) % num_links
-        path = (f"l{first}",) if first == second else (f"l{first}", f"l{second}")
-        utility = LogUtility() if alpha == 1.0 else AlphaFairUtility(alpha=alpha)
-        network.add_flow(FluidFlow(i, path, utility))
-    return network
+    run = run_scenario(spec)
+    return run.artifacts["convergence"]["seconds"]
 
 
 def run_price_interval_sensitivity(
@@ -70,7 +53,7 @@ def run_price_interval_sensitivity(
     )
     for interval_us in intervals_us:
         params = NumFabricParameters(price_update_interval=interval_us * 1e-6)
-        time = _convergence_time_fluid(_star_network(), params, backend=backend)
+        time = _convergence_time_fluid(1.0, params, backend=backend)
         result.add_row(
             price_update_interval_us=interval_us,
             convergence_time_ms=None if time is None else time * 1e3,
@@ -104,8 +87,8 @@ def run_alpha_sensitivity(
     for alpha in alphas:
         base = NumFabricParameters()
         slowed = base.slowed_down(2.0)
-        time_fast = _convergence_time_fluid(_star_network(alpha=alpha), base, backend=backend)
-        time_slow = _convergence_time_fluid(_star_network(alpha=alpha), slowed, backend=backend)
+        time_fast = _convergence_time_fluid(alpha, base, backend=backend)
+        time_slow = _convergence_time_fluid(alpha, slowed, backend=backend)
         result.add_row(
             alpha=alpha,
             convergence_time_1x_ms=None if time_fast is None else time_fast * 1e3,
@@ -126,8 +109,8 @@ def run_delay_slack_sensitivity(
 ) -> ExperimentResult:
     """Reproduce Fig. 6(a): the effect of Swift's delay slack ``dt``.
 
-    This is an inherently packet-level effect, so the experiment runs the
-    packet simulator on a scaled-down single-bottleneck topology and reports
+    This is an inherently packet-level effect, so each sweep point runs the
+    packet engine on a scaled-down single-bottleneck scenario and reports
     the time until all flows are within 10% of their fair share, along with
     the bottleneck queue depth (the trade-off the paper describes).
     """
@@ -141,13 +124,10 @@ def run_delay_slack_sensitivity(
         # The scaled-down 1 Gbps topology has a larger RTT than the paper's
         # fabric, so the window sizing uses the matching baseline RTT.
         params = NumFabricParameters(delay_slack=dt_us * 1e-6, baseline_rtt=60e-6)
-        scheme = NumFabricScheme(params=params)
-        network = single_link_network(scheme, num_flows=num_flows, link_rate=link_rate)
-        for i in range(num_flows):
-            network.add_flow(
-                FlowDescriptor(flow_id=i, source=("sender", i), destination=("receiver", i))
-            )
-        network.run(duration)
+        spec = delay_slack_spec(
+            params=params, num_flows=num_flows, link_rate=link_rate, duration=duration
+        )
+        network = run_scenario(spec).artifacts["network"]
         fair_share = link_rate / num_flows
         convergence_time = None
         # Scan rate traces for the instant all flows stay within 10% of fair share.

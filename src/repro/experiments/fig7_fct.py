@@ -8,13 +8,12 @@ pFabric, the best-in-class FCT-minimizing transport.
 
 The packet-level comparison (:func:`run_fct_comparison`) cannot reach the
 paper's 10k-flow scale in pure Python, so :func:`run_fct_flow_level` adds a
-flow-level companion on the array-backed
-:class:`~repro.experiments.dynamic_fluid.FlowLevelSimulation`: the same
-Poisson web-search workload on the full leaf-spine fabric, comparing
-NUMFabric driven by the FCT utility against NUMFabric driven by plain
-proportional fairness.  The FCT utility's SRPT-like prioritization of short
-flows -- the mechanism behind Fig. 7's result -- shows up directly as a
-lower mean normalized FCT.
+flow-level companion: the same Poisson web-search workload on the full
+leaf-spine fabric, comparing NUMFabric driven by the FCT utility against
+NUMFabric driven by plain proportional fairness.  Both harnesses submit
+scenario specs (:func:`~repro.scenarios.catalog.dumbbell_fct_spec` /
+:func:`~repro.scenarios.catalog.flow_level_fct_spec`) to
+:func:`~repro.scenarios.run_scenario` and post-process the completions.
 """
 
 from __future__ import annotations
@@ -23,17 +22,10 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.analysis.fct import FctRecord, summarize_fcts
-from repro.core.config import NumFabricParameters, SimulationParameters
-from repro.core.utility import FctUtility, LogUtility
-from repro.experiments.dynamic_fluid import FlowLevelSimulation, scheme_rate_policy
-from repro.experiments.registry import ExperimentResult
-from repro.fluid.topologies import leaf_spine
-from repro.sim.flow import FlowDescriptor
-from repro.sim.topology import dumbbell
-from repro.transports.numfabric import NumFabricScheme
-from repro.transports.pfabric import PfabricScheme
-from repro.workloads.distributions import web_search_distribution
-from repro.workloads.poisson import PoissonTrafficGenerator
+from repro.core.config import NumFabricParameters, PfabricParameters, SimulationParameters
+from repro.results import ExperimentResult
+from repro.scenarios.catalog import dumbbell_fct_spec, flow_level_fct_spec
+from repro.scenarios.runner import run_scenario
 
 
 @dataclass
@@ -69,63 +61,33 @@ class FctSettings:
         )
 
 
-def _generate_arrivals(settings: FctSettings, load: float):
-    generator = PoissonTrafficGenerator(
-        num_servers=settings.num_pairs,
-        size_distribution=web_search_distribution(),
-        load=load,
-        link_rate=settings.link_rate,
-        seed=settings.seed,
-    )
-    return generator.generate(max_flows=settings.num_flows)
-
-
-def _run_scheme(scheme_name: str, settings: FctSettings, load: float) -> List[FctRecord]:
-    from repro.core.config import SimulationParameters
-
-    arrivals = _generate_arrivals(settings, load)
+def _scheme_params(scheme_name: str, settings: FctSettings):
     if scheme_name == "NUMFabric":
-        params = NumFabricParameters(baseline_rtt=settings.baseline_rtt).slowed_down(
+        return NumFabricParameters(baseline_rtt=settings.baseline_rtt).slowed_down(
             settings.slowdown
         )
-        scheme = NumFabricScheme(params=params)
-    elif scheme_name == "pFabric":
-        from repro.core.config import PfabricParameters
-
+    if scheme_name == "pFabric":
         # Scale the retransmission timeout with the actual fabric RTT (the
         # paper's 45 us assumes a 16 us RTT at 10 Gbps); an RTO shorter than
         # the RTT causes spurious retransmissions that melt the tiny queues.
-        scheme = PfabricScheme(
-            params=PfabricParameters(retransmission_timeout=3.0 * settings.baseline_rtt)
-        )
-    else:
-        raise ValueError(f"unknown scheme {scheme_name!r}")
-    sim_params = SimulationParameters(
-        num_servers=2 * settings.num_pairs,
-        edge_link_rate=settings.link_rate,
-        core_link_rate=settings.link_rate,
+        return PfabricParameters(retransmission_timeout=3.0 * settings.baseline_rtt)
+    raise ValueError(f"unknown scheme {scheme_name!r}")
+
+
+def _run_scheme(scheme_name: str, settings: FctSettings, load: float) -> List[FctRecord]:
+    spec = dumbbell_fct_spec(
+        scheme_name=scheme_name,
+        num_pairs=settings.num_pairs,
+        link_rate=settings.link_rate,
+        load=load,
+        num_flows=settings.num_flows,
+        max_flow_bytes=settings.max_flow_bytes,
+        seed=settings.seed,
+        epsilon=settings.epsilon,
         baseline_rtt=settings.baseline_rtt,
+        params=_scheme_params(scheme_name, settings),
     )
-    network = dumbbell(scheme, num_pairs=settings.num_pairs,
-                       bottleneck_rate=settings.link_rate,
-                       access_rate=settings.link_rate,
-                       params=sim_params)
-    latest_arrival = 0.0
-    for arrival in arrivals:
-        size = min(arrival.size_bytes, settings.max_flow_bytes)
-        pair = arrival.source % settings.num_pairs
-        flow = FlowDescriptor(
-            flow_id=arrival.flow_id,
-            source=("sender", pair),
-            destination=("receiver", pair),
-            size_bytes=size,
-            start_time=arrival.time,
-            utility=FctUtility(flow_size=size, epsilon=settings.epsilon),
-        )
-        network.add_flow(flow)
-        latest_arrival = arrival.time
-    # Run long enough for the vast majority of flows to finish.
-    network.run(latest_arrival + 0.5)
+    run = run_scenario(spec)
     return [
         FctRecord(
             flow_id=completion.flow_id,
@@ -133,7 +95,7 @@ def _run_scheme(scheme_name: str, settings: FctSettings, load: float) -> List[Fc
             start_time=completion.start_time,
             finish_time=completion.finish_time,
         )
-        for completion in network.fct_tracker.completions
+        for completion in run.artifacts["completions"]
     ]
 
 
@@ -189,45 +151,24 @@ class FlowLevelFctSettings:
 def _run_flow_level(
     utility_kind: str, load: float, settings: FlowLevelFctSettings
 ) -> List[FctRecord]:
-    params = SimulationParameters(
+    if utility_kind == "fct":
+        kind = "fct"
+    elif utility_kind == "proportional":
+        kind = "proportional"
+    else:
+        raise ValueError(f"unknown utility kind {utility_kind!r}")
+    spec = flow_level_fct_spec(
+        utility_kind=kind,
         num_servers=settings.num_servers,
         num_leaves=settings.num_leaves,
         num_spines=settings.num_spines,
-    )
-    fabric = leaf_spine(params)
-    generator = PoissonTrafficGenerator(
-        num_servers=settings.num_servers,
-        size_distribution=web_search_distribution(),
         load=load,
-        link_rate=params.edge_link_rate,
+        num_flows=settings.num_flows,
         seed=settings.seed,
+        epsilon=settings.epsilon,
+        flow_backend=settings.flow_backend,
     )
-    arrivals = generator.generate(max_flows=settings.num_flows)
-
-    def path_for(arrival):
-        return fabric.path(
-            arrival.source, arrival.destination, spine=arrival.flow_id % params.num_spines
-        )
-
-    if utility_kind == "fct":
-        def utility_for(arrival):
-            return FctUtility(
-                flow_size=max(arrival.size_bytes, 1), epsilon=settings.epsilon
-            )
-    elif utility_kind == "proportional":
-        def utility_for(arrival):
-            return LogUtility()
-    else:
-        raise ValueError(f"unknown utility kind {utility_kind!r}")
-
-    simulation = FlowLevelSimulation(
-        fabric.network,
-        path_for,
-        scheme_rate_policy("NUMFabric"),
-        utility_for_arrival=utility_for,
-        backend=settings.flow_backend,
-    )
-    completed = simulation.run(arrivals)
+    run = run_scenario(spec)
     return [
         FctRecord(
             flow_id=flow.flow_id,
@@ -235,7 +176,7 @@ def _run_flow_level(
             start_time=flow.start_time,
             finish_time=flow.finish_time,
         )
-        for flow in completed
+        for flow in run.artifacts["completions"]
     ]
 
 

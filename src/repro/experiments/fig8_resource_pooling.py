@@ -11,6 +11,8 @@ onto a random spine.  Two utility configurations are compared:
 
 Reported: total throughput as a fraction of the optimum (every pair able to
 fill its 10 Gbps NIC) and the per-pair throughput distribution (fairness).
+Each configuration is one :func:`~repro.scenarios.catalog.resource_pooling_spec`
+run on the fluid engine.
 """
 
 from __future__ import annotations
@@ -20,12 +22,9 @@ from typing import Dict, List, Optional
 
 from repro.analysis.stats import percentile
 from repro.core.config import SimulationParameters
-from repro.core.utility import LogUtility
-from repro.experiments.registry import ExperimentResult
-from repro.fluid.network import FlowGroup, FluidFlow
-from repro.fluid.topologies import leaf_spine
-from repro.fluid.xwi import XwiFluidSimulator
-from repro.workloads.permutation import PermutationTraffic
+from repro.results import ExperimentResult
+from repro.scenarios.catalog import resource_pooling_spec
+from repro.scenarios.runner import run_scenario
 
 
 @dataclass
@@ -47,33 +46,20 @@ def _run_configuration(
     settings: ResourcePoolingSettings, subflows_per_pair: int, pooling: bool
 ) -> Dict[int, float]:
     """Run one configuration; return per-pair aggregate throughput (bits/s)."""
-    params = SimulationParameters(
+    spec = resource_pooling_spec(
+        subflows_per_pair=subflows_per_pair,
+        pooling=pooling,
         num_servers=settings.num_servers,
         num_leaves=settings.num_leaves,
         num_spines=settings.num_spines,
+        iterations=settings.iterations,
+        seed=settings.seed,
     )
-    fabric = leaf_spine(params)
-    traffic = PermutationTraffic(
-        num_servers=settings.num_servers, num_spines=settings.num_spines, seed=settings.seed
-    )
-    specs = traffic.subflows(subflows_per_pair)
-
-    if pooling:
-        for pair_id, _ in enumerate(traffic.pairs):
-            fabric.network.add_group(FlowGroup(("pair", pair_id), LogUtility()))
-    for spec in specs:
-        path = fabric.path(spec.source, spec.destination, spine=spec.spine)
-        flow_id = ("pair", spec.pair_id, spec.subflow_index)
-        group_id = ("pair", spec.pair_id) if pooling else None
-        fabric.network.add_flow(FluidFlow(flow_id, path, LogUtility(), group_id=group_id))
-
-    simulator = XwiFluidSimulator(fabric.network)
-    records = simulator.run(settings.iterations)
-    final = records[-1].rates
+    final = run_scenario(spec).artifacts["final_rates"]
     per_pair: Dict[int, float] = {}
-    for spec in specs:
-        flow_id = ("pair", spec.pair_id, spec.subflow_index)
-        per_pair[spec.pair_id] = per_pair.get(spec.pair_id, 0.0) + final.get(flow_id, 0.0)
+    for flow_id, rate in final.items():
+        _, pair_id, _ = flow_id  # flow ids are ("pair", pair_id, subflow_index)
+        per_pair[pair_id] = per_pair.get(pair_id, 0.0) + rate
     return per_pair
 
 

@@ -4,6 +4,10 @@ Two flows with the Fig. 2 bandwidth functions share one link whose capacity
 sweeps 5..35 Gbps.  The expected allocation is the BwE water-filling result;
 NUMFabric should match it closely when using the derived utility
 ``U(x) = integral F(t)^(-alpha) dt`` with alpha ~= 5.
+
+Each sweep point is one
+:func:`~repro.scenarios.catalog.bandwidth_function_spec` run on the fluid
+engine.
 """
 
 from __future__ import annotations
@@ -11,10 +15,9 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.bandwidth_function import fig2_flow1, fig2_flow2, single_link_allocation
-from repro.core.utility import BandwidthFunctionUtility
-from repro.experiments.registry import ExperimentResult
-from repro.fluid.network import FluidFlow, FluidNetwork
-from repro.fluid.xwi import XwiFluidSimulator
+from repro.results import ExperimentResult
+from repro.scenarios.catalog import bandwidth_function_spec
+from repro.scenarios.runner import run_scenario
 
 
 def run_bandwidth_function_sweep(
@@ -33,12 +36,10 @@ def run_bandwidth_function_sweep(
     for capacity_gbps in capacities_gbps:
         capacity = capacity_gbps * 1e9
         _, expected = single_link_allocation([bwf1, bwf2], capacity)
-        network = FluidNetwork({"link": capacity})
-        network.add_flow(FluidFlow("flow1", ("link",), BandwidthFunctionUtility(bwf1, alpha)))
-        network.add_flow(FluidFlow("flow2", ("link",), BandwidthFunctionUtility(bwf2, alpha)))
-        simulator = XwiFluidSimulator(network)
-        records = simulator.run(iterations)
-        achieved = records[-1].rates
+        spec = bandwidth_function_spec(
+            capacity=capacity, alpha=alpha, iterations=iterations
+        )
+        achieved = run_scenario(spec).artifacts["final_rates"]
         result.add_row(
             capacity_gbps=capacity_gbps,
             expected_flow1_gbps=expected[0] / 1e9,

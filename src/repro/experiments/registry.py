@@ -1,64 +1,10 @@
-"""Result records shared by every experiment harness."""
+"""Back-compat shim: the result records moved to :mod:`repro.results`.
 
-from __future__ import annotations
+They are shared by the experiment harnesses *and* the scenario runner
+(:mod:`repro.scenarios`), so they now live below both layers; import from
+``repro.results`` in new code.
+"""
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from repro.results import ExperimentResult, format_table
 
-
-@dataclass
-class ExperimentResult:
-    """Output of one experiment harness.
-
-    ``rows`` is a list of flat dictionaries -- one per plotted point, bin or
-    table row -- with consistent keys within an experiment, so results can be
-    printed as a table or fed to any plotting library.
-    """
-
-    experiment_id: str
-    title: str
-    rows: List[Dict[str, Any]] = field(default_factory=list)
-    notes: str = ""
-    paper_reference: str = ""
-
-    def add_row(self, **fields: Any) -> None:
-        self.rows.append(dict(fields))
-
-    def column(self, key: str) -> List[Any]:
-        """Extract one column across all rows (missing values become None)."""
-        return [row.get(key) for row in self.rows]
-
-    def __str__(self) -> str:
-        header = f"[{self.experiment_id}] {self.title}"
-        table = format_table(self.rows)
-        notes = f"\n{self.notes}" if self.notes else ""
-        return f"{header}\n{table}{notes}"
-
-
-def format_table(rows: Sequence[Dict[str, Any]], float_format: str = "{:.4g}") -> str:
-    """Render rows as a fixed-width text table."""
-    if not rows:
-        return "(no rows)"
-    columns: List[str] = []
-    for row in rows:
-        for key in row:
-            if key not in columns:
-                columns.append(key)
-
-    def fmt(value: Any) -> str:
-        if isinstance(value, float):
-            return float_format.format(value)
-        if value is None:
-            return "-"
-        return str(value)
-
-    rendered = [[fmt(row.get(col)) for col in columns] for row in rows]
-    widths = [
-        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
-    ]
-    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
-    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
-    body = "\n".join(
-        "  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered
-    )
-    return f"{header}\n{separator}\n{body}"
+__all__ = ["ExperimentResult", "format_table"]

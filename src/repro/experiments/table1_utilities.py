@@ -3,7 +3,9 @@
 For each objective the harness solves a small canonical scenario with the
 corresponding utility functions and reports the resulting allocation next to
 the analytically expected one, demonstrating that the utility encodes the
-intended policy.
+intended policy.  Every row is one explicit-workload scenario spec solved
+by the Oracle through :func:`~repro.scenarios.run_scenario` (the runner
+picks the multipath solver automatically when groups are present).
 """
 
 from __future__ import annotations
@@ -16,9 +18,33 @@ from repro.core.utility import (
     LogUtility,
     WeightedAlphaFairUtility,
 )
-from repro.experiments.registry import ExperimentResult
-from repro.fluid.network import FlowGroup, FluidFlow, FluidNetwork
-from repro.fluid.oracle import solve_num, solve_num_multipath
+from repro.results import ExperimentResult
+from repro.scenarios.build import (
+    FlowSpec,
+    GroupSpec,
+    explicit_links_topology,
+    explicit_workload,
+    oracle_scheme,
+    per_flow_objective,
+    single_link_topology,
+)
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec, TopologySpec
+
+
+def _solve(name: str, topology: TopologySpec, flows, groups=()) -> dict:
+    """Solve one canonical explicit scenario with the Oracle; return rates."""
+    spec = ScenarioSpec(
+        name=f"table1/{name}",
+        description=f"Table 1 canonical scenario: {name}",
+        paper_reference="Table 1",
+        topology=topology,
+        workload=explicit_workload(flows, groups),
+        scheme=oracle_scheme(),
+        objective=per_flow_objective(),
+        engine="fluid",
+    )
+    return run_scenario(spec).artifacts["final_rates"]
 
 
 def run_table1_allocations(capacity: float = 10e9) -> ExperimentResult:
@@ -30,10 +56,11 @@ def run_table1_allocations(capacity: float = 10e9) -> ExperimentResult:
     )
 
     # Row 1: alpha-fairness (alpha = 1, proportional fairness) -- equal split.
-    network = FluidNetwork({"l": capacity})
-    for i in range(4):
-        network.add_flow(FluidFlow(i, ("l",), AlphaFairUtility(alpha=1.0)))
-    rates = solve_num(network).rates
+    rates = _solve(
+        "alpha-fairness",
+        single_link_topology(capacity),
+        [FlowSpec(i, ("link",), AlphaFairUtility(alpha=1.0)) for i in range(4)],
+    )
     result.add_row(
         objective="alpha-fairness (alpha=1)",
         scenario="4 flows, one link",
@@ -42,11 +69,15 @@ def run_table1_allocations(capacity: float = 10e9) -> ExperimentResult:
     )
 
     # Row 2: weighted alpha-fairness -- split proportional to weights.
-    network = FluidNetwork({"l": capacity})
     weights = [1.0, 2.0, 5.0]
-    for i, weight in enumerate(weights):
-        network.add_flow(FluidFlow(i, ("l",), WeightedAlphaFairUtility(weight=weight, alpha=1.0)))
-    rates = solve_num(network).rates
+    rates = _solve(
+        "weighted-alpha-fairness",
+        single_link_topology(capacity),
+        [
+            FlowSpec(i, ("link",), WeightedAlphaFairUtility(weight=weight, alpha=1.0))
+            for i, weight in enumerate(weights)
+        ],
+    )
     result.add_row(
         objective="weighted alpha-fairness",
         scenario="weights 1:2:5, one link",
@@ -55,10 +86,14 @@ def run_table1_allocations(capacity: float = 10e9) -> ExperimentResult:
     )
 
     # Row 3: FCT minimization -- the short flow preempts the long one.
-    network = FluidNetwork({"l": capacity})
-    network.add_flow(FluidFlow("short", ("l",), FctUtility(flow_size=10e3)))
-    network.add_flow(FluidFlow("long", ("l",), FctUtility(flow_size=10e6)))
-    rates = solve_num(network).rates
+    rates = _solve(
+        "fct-minimization",
+        single_link_topology(capacity),
+        [
+            FlowSpec("short", ("link",), FctUtility(flow_size=10e3)),
+            FlowSpec("long", ("link",), FctUtility(flow_size=10e6)),
+        ],
+    )
     result.add_row(
         objective="minimize FCT (1/s weights)",
         scenario="10 KB vs 10 MB flow",
@@ -67,12 +102,15 @@ def run_table1_allocations(capacity: float = 10e9) -> ExperimentResult:
     )
 
     # Row 4: resource pooling -- aggregate utility over two paths.
-    network = FluidNetwork({"p1": 4e9, "p2": 6e9})
-    network.add_group(FlowGroup("g", LogUtility()))
-    network.add_flow(FluidFlow("sub1", ("p1",), LogUtility(), group_id="g"))
-    network.add_flow(FluidFlow("sub2", ("p2",), LogUtility(), group_id="g"))
-    network.group("g").member_ids = ("sub1", "sub2")
-    rates = solve_num_multipath(network).rates
+    rates = _solve(
+        "resource-pooling",
+        explicit_links_topology({"p1": 4e9, "p2": 6e9}),
+        [
+            FlowSpec("sub1", ("p1",), LogUtility(), group_id="g"),
+            FlowSpec("sub2", ("p2",), LogUtility(), group_id="g"),
+        ],
+        groups=[GroupSpec("g", LogUtility(), members=("sub1", "sub2"))],
+    )
     result.add_row(
         objective="resource pooling",
         scenario="one flow, two paths of 4 and 6 Gbps",
@@ -82,10 +120,14 @@ def run_table1_allocations(capacity: float = 10e9) -> ExperimentResult:
 
     # Row 5: bandwidth functions -- the Fig. 2 allocation at 25 Gbps.
     _, expected = single_link_allocation([fig2_flow1(), fig2_flow2()], 25e9)
-    network = FluidNetwork({"l": 25e9})
-    network.add_flow(FluidFlow("f1", ("l",), BandwidthFunctionUtility(fig2_flow1(), alpha=5.0)))
-    network.add_flow(FluidFlow("f2", ("l",), BandwidthFunctionUtility(fig2_flow2(), alpha=5.0)))
-    rates = solve_num(network).rates
+    rates = _solve(
+        "bandwidth-functions",
+        single_link_topology(25e9),
+        [
+            FlowSpec("f1", ("link",), BandwidthFunctionUtility(fig2_flow1(), alpha=5.0)),
+            FlowSpec("f2", ("link",), BandwidthFunctionUtility(fig2_flow2(), alpha=5.0)),
+        ],
+    )
     result.add_row(
         objective="bandwidth functions",
         scenario="Fig. 2 flows on a 25 Gbps link",

@@ -99,6 +99,155 @@ def leaf_spine(params: Optional[SimulationParameters] = None) -> LeafSpineFluid:
     return LeafSpineFluid(network=FluidNetwork(capacities), params=params)
 
 
+@dataclass(frozen=True)
+class FatTreeFluid:
+    """A three-tier k-ary fat-tree expressed as a fluid network plus path helpers.
+
+    The classic Clos construction: ``k`` pods, each with ``k/2`` edge and
+    ``k/2`` aggregation switches, ``(k/2)^2`` core switches and ``k^3/4``
+    hosts in total.  Aggregation switch ``a`` of every pod connects to the
+    ``k/2`` core switches of core group ``a``.  Links are modelled in both
+    directions independently:
+
+    * ``("host-up", h)`` / ``("host-down", h)``          -- host NIC <-> its edge switch,
+    * ``("edge-up", pod, edge, agg)``                     -- edge switch up to an agg switch,
+    * ``("edge-down", pod, agg, edge)``                   -- aggregation switch to an edge switch,
+    * ``("agg-up", pod, agg, core)``                      -- aggregation switch to core ``(agg, core)``,
+    * ``("agg-down", agg, core, pod)``                    -- core ``(agg, core)`` down to a pod.
+    """
+
+    network: FluidNetwork
+    k: int
+
+    @property
+    def hosts_per_edge(self) -> int:
+        return self.k // 2
+
+    @property
+    def edges_per_pod(self) -> int:
+        return self.k // 2
+
+    @property
+    def hosts_per_pod(self) -> int:
+        return (self.k // 2) ** 2
+
+    @property
+    def num_servers(self) -> int:
+        return self.k**3 // 4
+
+    @property
+    def num_core_paths(self) -> int:
+        """Number of distinct core routes between hosts in different pods."""
+        return (self.k // 2) ** 2
+
+    def pod_of(self, host: int) -> int:
+        self._check_host(host)
+        return host // self.hosts_per_pod
+
+    def edge_of(self, host: int) -> Tuple[int, int]:
+        """The ``(pod, edge)`` switch a host hangs off."""
+        self._check_host(host)
+        return host // self.hosts_per_pod, (host % self.hosts_per_pod) // self.hosts_per_edge
+
+    def _check_host(self, host: int) -> None:
+        if not 0 <= host < self.num_servers:
+            raise ValueError(f"host {host} out of range 0..{self.num_servers - 1}")
+
+    def path(
+        self,
+        src: int,
+        dst: int,
+        agg: Optional[int] = None,
+        core: Optional[int] = None,
+    ) -> Tuple[LinkId, ...]:
+        """Links traversed from ``src`` to ``dst``.
+
+        Same-edge traffic crosses only the two host links (2 hops);
+        same-pod traffic additionally bounces through one aggregation
+        switch (4 hops, ``agg`` selects which); cross-pod traffic rises to
+        one core switch (6 hops, ``(agg, core)`` selects which).  Unset
+        choices are filled deterministically from ``(src, dst)`` so repeated
+        calls -- and identical seeds -- always produce the same route.
+        """
+        self._check_host(src)
+        self._check_host(dst)
+        if src == dst:
+            raise ValueError("source and destination must differ")
+        src_pod, src_edge = self.edge_of(src)
+        dst_pod, dst_edge = self.edge_of(dst)
+        if (src_pod, src_edge) == (dst_pod, dst_edge):
+            return (("host-up", src), ("host-down", dst))
+        half = self.k // 2
+        if agg is None:
+            agg = (src * 31 + dst) % half
+        if not 0 <= agg < half:
+            raise ValueError(f"agg {agg} out of range 0..{half - 1}")
+        if src_pod == dst_pod:
+            return (
+                ("host-up", src),
+                ("edge-up", src_pod, src_edge, agg),
+                ("edge-down", src_pod, agg, dst_edge),
+                ("host-down", dst),
+            )
+        if core is None:
+            core = (src * 17 + dst * 7) % half
+        if not 0 <= core < half:
+            raise ValueError(f"core {core} out of range 0..{half - 1}")
+        return (
+            ("host-up", src),
+            ("edge-up", src_pod, src_edge, agg),
+            ("agg-up", src_pod, agg, core),
+            ("agg-down", agg, core, dst_pod),
+            ("edge-down", dst_pod, agg, dst_edge),
+            ("host-down", dst),
+        )
+
+    def all_paths(self, src: int, dst: int) -> List[Tuple[LinkId, ...]]:
+        """Every equal-cost path between two hosts (for multipath studies).
+
+        One path for same-edge pairs, ``k/2`` for same-pod pairs and
+        ``(k/2)^2`` for cross-pod pairs, ordered by ``(agg, core)``.
+        """
+        src_pod, src_edge = self.edge_of(src)
+        dst_pod, dst_edge = self.edge_of(dst)
+        if (src_pod, src_edge) == (dst_pod, dst_edge):
+            return [self.path(src, dst)]
+        half = self.k // 2
+        if src_pod == dst_pod:
+            return [self.path(src, dst, agg=a) for a in range(half)]
+        return [self.path(src, dst, agg=a, core=c) for a in range(half) for c in range(half)]
+
+
+def fat_tree(
+    k: int = 4,
+    edge_link_rate: float = 10e9,
+    aggregation_link_rate: float = 40e9,
+    core_link_rate: float = 40e9,
+) -> FatTreeFluid:
+    """Build a k-ary fat-tree as a fluid network (``k`` even, >= 2).
+
+    The default is the smallest interesting instance: k=4, 16 hosts,
+    10 Gbps host links and 40 Gbps fabric links.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError("k must be an even integer >= 2")
+    half = k // 2
+    capacities = {}
+    for host in range(k**3 // 4):
+        capacities[("host-up", host)] = edge_link_rate
+        capacities[("host-down", host)] = edge_link_rate
+    for pod in range(k):
+        for edge in range(half):
+            for agg in range(half):
+                capacities[("edge-up", pod, edge, agg)] = aggregation_link_rate
+                capacities[("edge-down", pod, agg, edge)] = aggregation_link_rate
+        for agg in range(half):
+            for core in range(half):
+                capacities[("agg-up", pod, agg, core)] = core_link_rate
+                capacities[("agg-down", agg, core, pod)] = core_link_rate
+    return FatTreeFluid(network=FluidNetwork(capacities), k=k)
+
+
 def single_bottleneck(capacity: float = 10e9) -> FluidNetwork:
     """A network with a single shared link (used by Fig. 9 and unit studies)."""
     return FluidNetwork({"bottleneck": capacity})

@@ -1,0 +1,83 @@
+"""Result records shared by every experiment harness and the scenario runner.
+
+This module sits below both ``repro.experiments`` and ``repro.scenarios`` in
+the layering: harnesses fill results with figure-shaped rows, the scenario
+runner fills them with engine-native rows plus raw ``artifacts``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment harness.
+
+    ``rows`` is a list of flat dictionaries -- one per plotted point, bin or
+    table row -- with consistent keys within an experiment, so results can be
+    printed as a table or fed to any plotting library.
+
+    ``artifacts`` carries engine-native outputs that do not fit a flat table
+    (completion records, rate timeseries, the live packet network, ...).
+    The scenario runner (:func:`repro.scenarios.run_scenario`) fills it so
+    harnesses can post-process raw results into figure-shaped rows.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+    paper_reference: str = ""
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, **fields: Any) -> None:
+        self.rows.append(dict(fields))
+
+    def column(self, key: str) -> List[Any]:
+        """Extract one column across all rows (missing values become None)."""
+        return [row.get(key) for row in self.rows]
+
+    def __str__(self) -> str:
+        header = f"[{self.experiment_id}] {self.title}"
+        table = format_table(self.rows)
+        notes = f"\n{self.notes}" if self.notes else ""
+        return f"{header}\n{table}{notes}"
+
+
+def format_table(rows: Sequence[Dict[str, Any]], float_format: str = "{:.4g}") -> str:
+    """Render rows as a fixed-width text table.
+
+    Rows may be ragged: the column set is the union over all rows, missing
+    values render as ``-``, and rows with no recognizable columns at all
+    (e.g. a list of empty dicts) degrade gracefully instead of raising.
+    """
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    if not columns:
+        return "(no columns)"
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        if value is None:
+            return "-"
+        return str(value)
+
+    rendered = [[fmt(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max((len(r[i]) for r in rendered), default=0) for i in range(len(columns))
+    ]
+    widths = [max(len(col), width) for col, width in zip(columns, widths)]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered
+    )
+    return f"{header}\n{separator}\n{body}"

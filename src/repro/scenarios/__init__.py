@@ -1,0 +1,107 @@
+"""Declarative scenario subsystem: one spec, three engines, every experiment.
+
+The paper's architectural claim -- a network layer cleanly separated from a
+swappable optimization layer -- shows up here as code structure: a
+:class:`ScenarioSpec` declares *what* to run (topology x workload x scheme
+x objective), :func:`run_scenario` decides *how* (the fluid, flow-level or
+packet-level engine), and the :data:`SCENARIOS` registry names every
+ready-made combination, from the paper's nine figures to the new fat-tree
+/ incast / hotspot / trace families.
+
+Quick tour::
+
+    from repro.scenarios import get_scenario, run_scenario
+
+    result = run_scenario(get_scenario("fig5/websearch"), seed=7)
+    print(result)                       # completion table
+    result.artifacts["completions"]     # raw CompletedFlow records
+
+or from a shell::
+
+    python -m repro list
+    python -m repro run incast/leaf-spine --engine packet
+"""
+
+from repro.scenarios.build import (
+    FlowSpec,
+    GroupSpec,
+    alpha_fair_objective,
+    dumbbell_topology,
+    explicit_links_topology,
+    explicit_workload,
+    fanout_workload,
+    fat_tree_topology,
+    fct_objective,
+    hotspot_workload,
+    incast_workload,
+    leaf_spine_topology,
+    log_objective,
+    oracle_scheme,
+    parking_lot_topology,
+    per_flow_objective,
+    permutation_workload,
+    poisson_workload,
+    scheme,
+    semidynamic_workload,
+    single_link_topology,
+    star_spread_workload,
+    star_topology,
+    trace_workload,
+    two_path_topology,
+)
+from repro.scenarios.catalog import (
+    SCENARIOS,
+    RegisteredScenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import (
+    ENGINES,
+    ObjectiveSpec,
+    ScenarioSpec,
+    SchemeSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ENGINES",
+    "ScenarioSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "SchemeSpec",
+    "ObjectiveSpec",
+    "FlowSpec",
+    "GroupSpec",
+    "run_scenario",
+    "SCENARIOS",
+    "RegisteredScenario",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "leaf_spine_topology",
+    "fat_tree_topology",
+    "single_link_topology",
+    "dumbbell_topology",
+    "explicit_links_topology",
+    "two_path_topology",
+    "star_topology",
+    "parking_lot_topology",
+    "poisson_workload",
+    "hotspot_workload",
+    "incast_workload",
+    "trace_workload",
+    "semidynamic_workload",
+    "permutation_workload",
+    "fanout_workload",
+    "star_spread_workload",
+    "explicit_workload",
+    "scheme",
+    "oracle_scheme",
+    "log_objective",
+    "alpha_fair_objective",
+    "fct_objective",
+    "per_flow_objective",
+]

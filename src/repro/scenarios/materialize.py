@@ -1,0 +1,426 @@
+"""Turn declarative specs into live networks, flows and arrival sequences.
+
+This is the bridge between :mod:`repro.scenarios.spec` and the three
+execution engines: topology specs become fluid networks (with a uniform
+``path_for`` ECMP mapping) or packet networks, workload specs become
+arrival lists or static flow populations, and objective specs become
+utility factories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.config import SimulationParameters
+from repro.core.utility import (
+    AlphaFairUtility,
+    FctUtility,
+    LogUtility,
+    Utility,
+    WeightedAlphaFairUtility,
+)
+from repro.fluid.network import FlowGroup, FluidFlow, FluidNetwork
+from repro.fluid.topologies import fat_tree, leaf_spine
+from repro.scenarios.spec import ObjectiveSpec, ScenarioSpec
+from repro.workloads.distributions import (
+    FlowSizeDistribution,
+    enterprise_distribution,
+    web_search_distribution,
+)
+from repro.workloads.hotspot import HotspotTrafficGenerator
+from repro.workloads.incast import IncastTrafficGenerator
+from repro.workloads.poisson import FlowArrival, PoissonTrafficGenerator
+from repro.workloads.trace import arrivals_from_trace
+
+# -- fluid topologies -------------------------------------------------------
+
+
+@dataclass
+class FluidTopology:
+    """A built fluid network plus the scenario-facing routing interface.
+
+    ``path_for(source, destination, key)`` maps server endpoints to a link
+    path; ``key`` (usually the flow id) deterministically breaks ECMP ties,
+    so the same spec and seed always route the same way.
+    """
+
+    network: FluidNetwork
+    num_servers: Optional[int]
+    ecmp_degree: int
+    path_for: Callable[[int, int, int], tuple]
+    edge_link_rate: float
+
+
+def build_fluid_topology(spec: ScenarioSpec) -> FluidTopology:
+    topo = spec.topology
+    kind = topo.kind
+    if kind == "leaf_spine":
+        params = SimulationParameters(
+            num_servers=topo.get("num_servers", 128),
+            num_leaves=topo.get("num_leaves", 8),
+            num_spines=topo.get("num_spines", 4),
+            edge_link_rate=topo.get("edge_link_rate", 10e9),
+            core_link_rate=topo.get("core_link_rate", 40e9),
+        )
+        fabric = leaf_spine(params)
+        num_spines = params.num_spines
+
+        def path_for(source: int, destination: int, key: int) -> tuple:
+            return fabric.path(source, destination, spine=key % num_spines)
+
+        return FluidTopology(
+            network=fabric.network,
+            num_servers=params.num_servers,
+            ecmp_degree=num_spines,
+            path_for=path_for,
+            edge_link_rate=params.edge_link_rate,
+        )
+    if kind == "fat_tree":
+        fabric = fat_tree(
+            k=topo.get("k", 4),
+            edge_link_rate=topo.get("edge_link_rate", 10e9),
+            aggregation_link_rate=topo.get("aggregation_link_rate", 40e9),
+            core_link_rate=topo.get("core_link_rate", 40e9),
+        )
+        half = fabric.k // 2
+
+        def path_for(source: int, destination: int, key: int) -> tuple:
+            return fabric.path(
+                source, destination, agg=key % half, core=(key // half) % half
+            )
+
+        return FluidTopology(
+            network=fabric.network,
+            num_servers=fabric.num_servers,
+            ecmp_degree=fabric.num_core_paths,
+            path_for=path_for,
+            edge_link_rate=topo.get("edge_link_rate", 10e9),
+        )
+    if kind in ("single_link", "dumbbell"):
+        if kind == "single_link":
+            capacity = topo.get("capacity", 10e9)
+            num_servers = topo.get("num_servers")
+        else:
+            capacity = topo.get("bottleneck_rate", 10e9)
+            num_servers = topo.get("num_pairs", 6)
+        network = FluidNetwork({"link": capacity})
+
+        def path_for(source: int, destination: int, key: int) -> tuple:
+            return ("link",)
+
+        return FluidTopology(
+            network=network,
+            num_servers=num_servers,
+            ecmp_degree=1,
+            path_for=path_for,
+            edge_link_rate=capacity,
+        )
+    if kind == "two_path":
+        network = FluidNetwork(
+            {
+                "top": topo.get("top_capacity", 5e9),
+                "middle": topo.get("middle_capacity", 5e9),
+                "bottom": topo.get("bottom_capacity", 3e9),
+            }
+        )
+        return FluidTopology(
+            network=network,
+            num_servers=None,
+            ecmp_degree=1,
+            path_for=_no_endpoint_routing,
+            edge_link_rate=topo.get("middle_capacity", 5e9),
+        )
+    if kind == "star":
+        num_links = topo.get("num_links", 6)
+        capacity = topo.get("capacity", 10e9)
+        network = FluidNetwork({f"l{i}": capacity for i in range(num_links)})
+        return FluidTopology(
+            network=network,
+            num_servers=None,
+            ecmp_degree=1,
+            path_for=_no_endpoint_routing,
+            edge_link_rate=capacity,
+        )
+    if kind == "explicit_links":
+        capacities = dict(topo.get("capacities", {}))
+        if not capacities:
+            raise ValueError("explicit_links topology needs a non-empty capacities map")
+        return FluidTopology(
+            network=FluidNetwork(capacities),
+            num_servers=None,
+            ecmp_degree=1,
+            path_for=_no_endpoint_routing,
+            edge_link_rate=max(capacities.values()),
+        )
+    if kind == "parking_lot":
+        n_hops = topo.get("n_hops", 2)
+        capacity = topo.get("capacity", 10e9)
+        network = FluidNetwork({f"hop{i}": capacity for i in range(n_hops)})
+        return FluidTopology(
+            network=network,
+            num_servers=None,
+            ecmp_degree=1,
+            path_for=_no_endpoint_routing,
+            edge_link_rate=capacity,
+        )
+    raise ValueError(f"unknown topology kind {topo.kind!r}")
+
+
+def _no_endpoint_routing(source: int, destination: int, key: int) -> tuple:
+    raise ValueError(
+        "this topology has no server endpoints; use a link-path workload "
+        "(explicit, star_spread, or fanout on a single-bottleneck topology)"
+    )
+
+
+# -- objectives -------------------------------------------------------------
+
+
+def utility_for_arrival_factory(
+    objective: ObjectiveSpec,
+) -> Callable[[FlowArrival], Utility]:
+    """Per-arrival utility factory for sized (dynamic) workloads."""
+    kind = objective.kind
+    if kind == "log":
+        return lambda arrival: LogUtility()
+    if kind == "alpha":
+        alpha = objective.get("alpha", 1.0)
+        return lambda arrival: AlphaFairUtility(alpha=alpha)
+    if kind == "weighted_alpha":
+        weight = objective.get("weight", 1.0)
+        alpha = objective.get("alpha", 1.0)
+        return lambda arrival: WeightedAlphaFairUtility(weight=weight, alpha=alpha)
+    if kind == "fct":
+        epsilon = objective.get("epsilon", 0.125)
+        return lambda arrival: FctUtility(
+            flow_size=max(arrival.size_bytes, 1), epsilon=epsilon
+        )
+    raise ValueError(f"objective kind {kind!r} cannot size per-arrival utilities")
+
+
+def utility_factory(objective: ObjectiveSpec) -> Callable[[], Utility]:
+    """Utility factory for persistent (unsized) flows."""
+    kind = objective.kind
+    if kind == "log":
+        return LogUtility
+    if kind == "alpha":
+        alpha = objective.get("alpha", 1.0)
+        return lambda: AlphaFairUtility(alpha=alpha)
+    if kind == "weighted_alpha":
+        weight = objective.get("weight", 1.0)
+        alpha = objective.get("alpha", 1.0)
+        return lambda: WeightedAlphaFairUtility(weight=weight, alpha=alpha)
+    raise ValueError(
+        f"objective kind {kind!r} needs per-flow sizes; use a sized workload "
+        "or an explicit workload with literal utilities"
+    )
+
+
+# -- arrival workloads ------------------------------------------------------
+
+
+def _size_distribution(name: str) -> FlowSizeDistribution:
+    if name == "websearch":
+        return web_search_distribution()
+    if name == "enterprise":
+        return enterprise_distribution()
+    raise ValueError(f"unknown workload distribution {name!r}; use 'websearch' or 'enterprise'")
+
+
+def workload_seed(spec: ScenarioSpec) -> Optional[int]:
+    """The effective workload seed: the workload's own, else the scenario's."""
+    return spec.workload.get("seed") if spec.workload.get("seed") is not None else spec.seed
+
+
+def materialize_arrivals(spec: ScenarioSpec, topo: FluidTopology) -> List[FlowArrival]:
+    """Realize an arrival-based workload spec into a flow-arrival list."""
+    workload = spec.workload
+    seed = workload_seed(spec)
+    num_servers = workload.get("num_servers") or topo.num_servers
+    if num_servers is None and workload.kind in ("poisson", "hotspot", "incast"):
+        raise ValueError(
+            f"workload {workload.kind!r} needs server endpoints; topology "
+            f"{spec.topology.kind!r} does not define them (set num_servers on the workload)"
+        )
+    link_rate = workload.get("link_rate") or topo.edge_link_rate
+    if workload.kind == "poisson":
+        generator = PoissonTrafficGenerator(
+            num_servers=num_servers,
+            size_distribution=_size_distribution(workload.get("workload", "websearch")),
+            load=workload.get("load", 0.4),
+            link_rate=link_rate,
+            seed=seed,
+        )
+        arrivals = generator.generate(max_flows=workload.get("num_flows", 120))
+    elif workload.kind == "hotspot":
+        generator = HotspotTrafficGenerator(
+            num_servers=num_servers,
+            size_distribution=_size_distribution(workload.get("workload", "websearch")),
+            load=workload.get("load", 0.4),
+            hot_fraction=workload.get("hot_fraction", 0.5),
+            num_hot=workload.get("num_hot", 2),
+            hot_servers=workload.get("hot_servers"),
+            link_rate=link_rate,
+            seed=seed,
+        )
+        arrivals = generator.generate(max_flows=workload.get("num_flows", 120))
+    elif workload.kind == "incast":
+        size_distribution = workload.get("size_distribution")
+        if isinstance(size_distribution, str):
+            size_distribution = _size_distribution(size_distribution)
+        generator = IncastTrafficGenerator(
+            num_servers=num_servers,
+            receiver=workload.get("receiver", 0),
+            num_senders=workload.get("num_senders", 8),
+            response_bytes=workload.get("response_bytes", 20_000),
+            size_distribution=size_distribution,
+            wave_interval=workload.get("wave_interval", 1e-3),
+            jitter=workload.get("jitter", 0.0),
+            seed=seed,
+        )
+        arrivals = generator.generate(waves=workload.get("waves", 3))
+    elif workload.kind == "trace":
+        arrivals = arrivals_from_trace(workload.get("trace"))
+    elif workload.kind == "semidynamic":
+        from repro.workloads.semidynamic import arrivals_from_scenario
+
+        scenario = build_semidynamic(spec, topo)
+        arrivals = arrivals_from_scenario(
+            scenario,
+            _size_distribution(workload.get("workload", "websearch")),
+            event_interval=workload.get("event_interval", 1e-3),
+            num_events=workload.get("num_events", 5),
+            seed=seed,
+        )
+    else:
+        raise ValueError(f"workload kind {spec.workload.kind!r} does not produce arrivals")
+    cap = workload.get("size_cap_bytes")
+    if cap is not None:
+        arrivals = [
+            FlowArrival(
+                flow_id=a.flow_id,
+                time=a.time,
+                source=a.source,
+                destination=a.destination,
+                size_bytes=min(a.size_bytes, cap),
+            )
+            for a in arrivals
+        ]
+    return arrivals
+
+
+ARRIVAL_WORKLOADS = ("poisson", "hotspot", "incast", "trace")
+
+
+def build_semidynamic(spec: ScenarioSpec, topo: FluidTopology):
+    """Construct the seeded semi-dynamic event scenario for a topology."""
+    from repro.workloads.semidynamic import SemiDynamicScenario
+
+    workload = spec.workload
+    if topo.num_servers is None:
+        raise ValueError("the semidynamic workload needs a topology with server endpoints")
+    return SemiDynamicScenario(
+        num_servers=topo.num_servers,
+        num_paths=workload.get("num_paths", 200),
+        flows_per_event=workload.get("flows_per_event", 20),
+        min_active=workload.get("min_active", 60),
+        max_active=workload.get("max_active", 100),
+        num_spines=topo.ecmp_degree,
+        seed=workload_seed(spec),
+    )
+
+
+# -- static fluid populations ----------------------------------------------
+
+
+def populate_static_flows(spec: ScenarioSpec, topo: FluidTopology) -> None:
+    """Add a static workload's flow population to the fluid network."""
+    workload = spec.workload
+    network = topo.network
+    if workload.kind == "explicit":
+        for group in workload.get("groups", ()):
+            network.add_group(FlowGroup(group.group_id, group.utility))
+        for flow in workload.get("flows", ()):
+            network.add_flow(
+                FluidFlow(flow.flow_id, tuple(flow.path), flow.utility, group_id=flow.group_id)
+            )
+        for group in workload.get("groups", ()):
+            if group.members is not None:
+                network.group(group.group_id).member_ids = tuple(group.members)
+        return
+    if workload.kind == "fanout":
+        make_utility = utility_factory(spec.objective)
+        num_flows = workload.get("num_flows", 2)
+        if topo.num_servers is not None and spec.topology.kind not in (
+            "single_link",
+            "dumbbell",
+        ):
+            for i in range(num_flows):
+                src = (2 * i) % topo.num_servers
+                dst = (2 * i + 1) % topo.num_servers
+                network.add_flow(FluidFlow(i, topo.path_for(src, dst, i), make_utility()))
+        else:
+            links = network.links
+            if len(links) != 1:
+                raise ValueError(
+                    "the fanout workload needs server endpoints or a single "
+                    f"bottleneck; topology {spec.topology.kind!r} has {len(links)} "
+                    "links and no endpoints (use star_spread or an explicit workload)"
+                )
+            for i in range(num_flows):
+                network.add_flow(FluidFlow(i, (links[0],), make_utility()))
+        return
+    if workload.kind == "star_spread":
+        # Spread flows deterministically over the topology's links, in link
+        # insertion order (l0, l1, ... on the star builder).
+        make_utility = utility_factory(spec.objective)
+        links = network.links
+        num_links = len(links)
+        for i in range(workload.get("num_flows", 20)):
+            first = i % num_links
+            second = (i * 3 + 1) % num_links
+            path = (links[first],) if first == second else (links[first], links[second])
+            network.add_flow(FluidFlow(i, path, make_utility()))
+        return
+    if workload.kind == "permutation":
+        from repro.workloads.permutation import PermutationTraffic
+
+        if topo.num_servers is None:
+            raise ValueError("the permutation workload needs a topology with server endpoints")
+        make_utility = utility_factory(spec.objective)
+        traffic = PermutationTraffic(
+            num_servers=topo.num_servers,
+            num_spines=topo.ecmp_degree,
+            seed=workload_seed(spec),
+        )
+        subflow_specs = traffic.subflows(workload.get("subflows_per_pair", 1))
+        if workload.get("pooling", False):
+            for pair_id, _ in enumerate(traffic.pairs):
+                network.add_group(FlowGroup(("pair", pair_id), make_utility()))
+        for sub in subflow_specs:
+            path = topo.path_for(sub.source, sub.destination, sub.spine)
+            flow_id = ("pair", sub.pair_id, sub.subflow_index)
+            group_id = ("pair", sub.pair_id) if workload.get("pooling", False) else None
+            network.add_flow(FluidFlow(flow_id, path, make_utility(), group_id=group_id))
+        return
+    if workload.kind in ARRIVAL_WORKLOADS or workload.kind == "semidynamic":
+        # The fluid engine studies the converged allocation of the arrival
+        # population: every sized arrival becomes a persistent flow.
+        if workload.kind == "semidynamic":
+            raise ValueError(
+                "semidynamic workloads run per-event on the fluid engine; "
+                "this path is only for arrival workloads"
+            )
+        arrivals = materialize_arrivals(spec, topo)
+        utility_for = utility_for_arrival_factory(spec.objective)
+        for arrival in arrivals:
+            network.add_flow(
+                FluidFlow(
+                    arrival.flow_id,
+                    topo.path_for(arrival.source, arrival.destination, arrival.flow_id),
+                    utility_for(arrival),
+                )
+            )
+        return
+    raise ValueError(f"workload kind {workload.kind!r} cannot form a static fluid population")

@@ -1,0 +1,445 @@
+"""``run_scenario``: one entry point, three execution engines.
+
+Every experiment harness -- and the ``python -m repro`` CLI -- funnels
+through this runner.  Given a :class:`~repro.scenarios.spec.ScenarioSpec`
+it builds the topology, realizes the workload, instantiates the scheme and
+executes on the requested engine, returning an
+:class:`~repro.results.ExperimentResult` whose rows are the
+engine's natural output (rates, convergence times or completions) and
+whose ``artifacts`` carry the raw objects harnesses post-process.
+
+Artifacts by engine:
+
+* ``fluid`` (static): ``final_rates`` (flow -> bits/s), ``network``,
+  optionally ``timeseries`` (list of per-step rate dicts),
+  ``oracle_rates`` and ``convergence`` (when measuring convergence);
+* ``fluid`` (semidynamic): ``convergence_seconds`` (one per event),
+  ``events`` (the event records);
+* ``flow``: ``completions`` (:class:`CompletedFlow` list), ``arrivals``;
+* ``packet``: ``completions`` (:class:`FlowCompletion` list),
+  ``arrivals`` and the live ``network`` (monitors, ports, queues).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.results import ExperimentResult
+from repro.fluid.convergence import ConvergenceCriterion, convergence_iterations
+from repro.fluid.dctcp import DctcpFluidSimulator
+from repro.fluid.dgd import DgdFluidSimulator
+from repro.fluid.network import FluidFlow, FluidNetwork
+from repro.fluid.oracle import solve_num, solve_num_multipath
+from repro.fluid.rcp import RcpStarFluidSimulator
+from repro.fluid.xwi import XwiFluidSimulator
+from repro.scenarios.materialize import (
+    ARRIVAL_WORKLOADS,
+    FluidTopology,
+    build_fluid_topology,
+    build_semidynamic,
+    materialize_arrivals,
+    populate_static_flows,
+    utility_for_arrival_factory,
+)
+from repro.scenarios.spec import (
+    ENGINE_FLOW,
+    ENGINE_FLUID,
+    ENGINE_PACKET,
+    ScenarioSpec,
+)
+
+#: Fluid control-loop simulators by scheme name.
+FLUID_SIMULATORS = {
+    "NUMFabric": XwiFluidSimulator,
+    "DGD": DgdFluidSimulator,
+    "RCP*": RcpStarFluidSimulator,
+    "DCTCP": DctcpFluidSimulator,
+}
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    engine: Optional[str] = None,
+    seed: Optional[int] = None,
+    scheme=None,
+    objective=None,
+    **sizing,
+) -> ExperimentResult:
+    """Execute a scenario spec on one of the three engines.
+
+    ``engine``/``seed``/``scheme``/``objective``/``sizing`` override the
+    spec without mutating it; the engine must be one the spec declares
+    support for.
+    """
+    overrides = engine is not None or seed is not None or scheme is not None
+    if overrides or objective is not None or sizing:
+        spec = spec.using(
+            engine=engine, seed=seed, scheme=scheme, objective=objective, **sizing
+        )
+    result = ExperimentResult(
+        experiment_id=spec.name,
+        title=spec.description or spec.name,
+        paper_reference=spec.paper_reference,
+    )
+    result.artifacts["spec"] = spec
+    result.artifacts["engine"] = spec.engine
+    if spec.engine == ENGINE_FLUID:
+        _run_fluid(spec, result)
+    elif spec.engine == ENGINE_FLOW:
+        _run_flow(spec, result)
+    elif spec.engine == ENGINE_PACKET:
+        _run_packet(spec, result)
+    else:  # pragma: no cover - ScenarioSpec already validates
+        raise ValueError(f"unknown engine {spec.engine!r}")
+    return result
+
+
+# -- fluid engine -----------------------------------------------------------
+
+
+def _make_fluid_simulator(spec: ScenarioSpec, network: FluidNetwork):
+    try:
+        simulator_cls = FLUID_SIMULATORS[spec.scheme.name]
+    except KeyError:
+        raise ValueError(
+            f"scheme {spec.scheme.name!r} has no fluid simulator; "
+            f"expected one of {sorted(FLUID_SIMULATORS)} or 'Oracle'"
+        ) from None
+    return simulator_cls(network, params=spec.scheme.params, backend=spec.scheme.backend)
+
+
+def _run_fluid(spec: ScenarioSpec, result: ExperimentResult) -> None:
+    topo = build_fluid_topology(spec)
+    if spec.workload.kind == "semidynamic":
+        _run_fluid_semidynamic(spec, topo, result)
+        return
+    populate_static_flows(spec, topo)
+    network = topo.network
+    result.artifacts["network"] = network
+
+    if spec.scheme.name == "Oracle":
+        solution = (
+            solve_num_multipath(network) if network.groups else solve_num(network)
+        )
+        result.artifacts["final_rates"] = solution.rates
+        for flow in network.flows:
+            result.add_row(flow=flow.flow_id, rate_bps=solution.rates.get(flow.flow_id, 0.0))
+        return
+
+    measure = spec.size("measure", "rates")
+    optimal: Optional[Dict] = None
+    if measure == "convergence" or spec.size("compare_oracle", False):
+        reference = (
+            solve_num_multipath(network) if network.groups else solve_num(network)
+        )
+        optimal = reference.rates
+        result.artifacts["oracle_rates"] = optimal
+
+    simulator = _make_fluid_simulator(spec, network)
+    iterations = spec.size("iterations", 200)
+
+    if measure == "convergence":
+        # Convergence against the Oracle on a fixed flow set (Fig. 6's inner
+        # measurement); churn/capacity schedules do not apply here.
+        records = simulator.run(iterations)
+        result.artifacts["final_rates"] = records[-1].rates if records else {}
+        criterion = spec.size("criterion") or ConvergenceCriterion(hold_iterations=3)
+        its = convergence_iterations(simulator.rate_history(), optimal, criterion)
+        seconds = None if its is None else its * simulator.seconds_per_iteration
+        result.artifacts["convergence"] = {"iterations": its, "seconds": seconds}
+        result.add_row(
+            scheme=spec.scheme.name,
+            converged=its is not None,
+            iterations=its,
+            seconds=seconds,
+        )
+        return
+
+    departures: Dict[int, List] = {}
+    for at_step, flow_ids in spec.workload.get("departures", ()):
+        departures.setdefault(at_step, []).extend(flow_ids)
+    capacity_schedule: Dict[int, List] = {}
+    for at_step, link, capacity in spec.size("capacity_schedule", ()):
+        capacity_schedule.setdefault(at_step, []).append((link, capacity))
+    record_timeseries = spec.size("record_timeseries", False)
+    timeseries: List[Dict] = []
+    last_rates: Dict = {}
+
+    for step in range(iterations):
+        for flow_id in departures.get(step, ()):
+            network.remove_flow(flow_id)
+        for link, capacity in capacity_schedule.get(step, ()):
+            network.set_capacity(link, capacity)
+        record = simulator.step()
+        last_rates = record.rates
+        if record_timeseries:
+            timeseries.append(record.rates)
+
+    result.artifacts["final_rates"] = last_rates
+    if record_timeseries:
+        result.artifacts["timeseries"] = timeseries
+        result.artifacts["seconds_per_iteration"] = simulator.seconds_per_iteration
+
+    for flow in network.flows:
+        result.add_row(flow=flow.flow_id, rate_bps=last_rates.get(flow.flow_id, 0.0))
+
+
+def _sync_flows(network: FluidNetwork, topo: FluidTopology, scenario, active_ids,
+                utility_for) -> None:
+    """Make the network's flow set equal to the scenario's active path set."""
+    active = set(active_ids)
+    existing = set(network.flow_ids)
+    for flow_id in existing - active:
+        network.remove_flow(flow_id)
+    for path_id in active - existing:
+        candidate = scenario.path(path_id)
+        path = topo.path_for(candidate.source, candidate.destination, candidate.spine)
+        network.add_flow(FluidFlow(path_id, path, utility_for(path_id)))
+
+
+def _run_fluid_semidynamic(
+    spec: ScenarioSpec, topo: FluidTopology, result: ExperimentResult
+) -> None:
+    """Per-event convergence measurement (Fig. 4(a)'s inner loop)."""
+    from repro.scenarios.materialize import utility_factory
+
+    if spec.scheme.name == "Oracle":
+        raise ValueError("the semidynamic fluid scenario measures schemes against the Oracle")
+    scenario = build_semidynamic(spec, topo)
+    scenario.initialize()
+    network = topo.network
+    simulator = _make_fluid_simulator(spec, network)
+    criterion = spec.size("criterion") or ConvergenceCriterion(hold_iterations=3)
+    max_iterations = spec.size("max_iterations", 300)
+    make_utility = utility_factory(spec.objective)
+
+    def utility_for(path_id):
+        return make_utility()
+
+    # Several schemes run the *same* seeded scenario (identical event
+    # sequences, identical flow sets), so the per-event Oracle solves can be
+    # shared across runs: pass one dict as ``oracle_cache`` in the sizing
+    # and the runner keys solves by the event's exact active path set.
+    oracle_cache = spec.size("oracle_cache")
+
+    events = scenario.events(spec.workload.get("num_events", 5))
+    convergence_seconds: List[float] = []
+    for event in events:
+        _sync_flows(network, topo, scenario, event.active_after, utility_for)
+        if oracle_cache is None:
+            oracle_rates = solve_num(network).rates
+        else:
+            cache_key = event.active_after
+            oracle_rates = oracle_cache.get(cache_key)
+            if oracle_rates is None:
+                oracle_rates = solve_num(network).rates
+                oracle_cache[cache_key] = oracle_rates
+        simulator.history = []
+        simulator.run(max_iterations)
+        its = convergence_iterations(simulator.rate_history(), oracle_rates, criterion)
+        if its is None:
+            its = max_iterations
+        seconds = its * simulator.seconds_per_iteration
+        convergence_seconds.append(seconds)
+        result.add_row(
+            scheme=spec.scheme.name,
+            event=event.event_id,
+            kind=event.kind,
+            flows_active=len(event.active_after),
+            iterations=its,
+            seconds=seconds,
+        )
+    result.artifacts["convergence_seconds"] = convergence_seconds
+    result.artifacts["events"] = events
+    result.artifacts["network"] = network
+
+
+# -- flow engine ------------------------------------------------------------
+
+
+def _run_flow(spec: ScenarioSpec, result: ExperimentResult) -> None:
+    from repro.experiments.dynamic_fluid import (
+        FlowLevelSimulation,
+        OracleRatePolicy,
+        scheme_rate_policy,
+    )
+
+    if spec.workload.kind not in ARRIVAL_WORKLOADS + ("semidynamic",):
+        raise ValueError(
+            f"workload kind {spec.workload.kind!r} does not produce sized arrivals "
+            "for the flow engine"
+        )
+    topo = build_fluid_topology(spec)
+    arrivals = materialize_arrivals(spec, topo)
+    if spec.scheme.name == "Oracle":
+        policy = OracleRatePolicy(**dict(spec.scheme.options))
+    else:
+        policy = scheme_rate_policy(
+            spec.scheme.name, backend=spec.scheme.backend, params=spec.scheme.params
+        )
+    utility_for = utility_for_arrival_factory(spec.objective)
+    simulation = FlowLevelSimulation(
+        topo.network,
+        lambda arrival: topo.path_for(arrival.source, arrival.destination, arrival.flow_id),
+        policy,
+        step_interval=spec.size("step_interval", 30e-6),
+        utility_for_arrival=utility_for,
+        backend=spec.size("flow_backend", "array"),
+    )
+    completed = simulation.run(arrivals, max_time=spec.size("max_time"))
+    result.artifacts["completions"] = completed
+    result.artifacts["arrivals"] = arrivals
+    result.artifacts["network"] = topo.network
+    for flow in completed:
+        result.add_row(
+            flow=flow.flow_id,
+            size_bytes=flow.size_bytes,
+            start_time=flow.start_time,
+            finish_time=flow.finish_time,
+            fct=flow.fct,
+            average_rate_bps=flow.average_rate,
+        )
+
+
+# -- packet engine ----------------------------------------------------------
+
+
+def _packet_scheme(spec: ScenarioSpec):
+    from repro.transports.dctcp import DctcpScheme
+    from repro.transports.dgd import DgdScheme
+    from repro.transports.numfabric import NumFabricScheme
+    from repro.transports.pfabric import PfabricScheme
+    from repro.transports.rcp_star import RcpStarScheme
+
+    schemes = {
+        "NUMFabric": NumFabricScheme,
+        "DGD": DgdScheme,
+        "RCP*": RcpStarScheme,
+        "DCTCP": DctcpScheme,
+        "pFabric": PfabricScheme,
+    }
+    try:
+        scheme_cls = schemes[spec.scheme.name]
+    except KeyError:
+        raise ValueError(
+            f"scheme {spec.scheme.name!r} has no packet-level transport; "
+            f"expected one of {sorted(schemes)}"
+        ) from None
+    return scheme_cls(params=spec.scheme.params)
+
+
+def _run_packet(spec: ScenarioSpec, result: ExperimentResult) -> None:
+    from repro.core.config import SimulationParameters
+    from repro.sim.flow import FlowDescriptor
+    from repro.sim.topology import dumbbell, leaf_spine_network, single_link_network
+
+    topo_spec = spec.topology
+    scheme = _packet_scheme(spec)
+    workload = spec.workload
+    baseline_rtt = spec.size("baseline_rtt", 16e-6)
+
+    def run_sized_arrivals(network, arrivals, endpoints_for):
+        """Place sized arrivals as flows, run until drained (shared by all
+        packet topologies; only the endpoint mapping differs)."""
+        utility_for = utility_for_arrival_factory(spec.objective)
+        latest_arrival = 0.0
+        for arrival in arrivals:
+            source, destination = endpoints_for(arrival)
+            network.add_flow(
+                FlowDescriptor(
+                    flow_id=arrival.flow_id,
+                    source=source,
+                    destination=destination,
+                    size_bytes=arrival.size_bytes,
+                    start_time=arrival.time,
+                    utility=utility_for(arrival),
+                )
+            )
+            latest_arrival = max(latest_arrival, arrival.time)
+        network.run(latest_arrival + spec.size("drain", 0.5))
+
+    if topo_spec.kind in ("single_link", "dumbbell"):
+        if topo_spec.kind == "single_link":
+            link_rate = topo_spec.get("capacity", 10e9)
+            # One dumbbell pair per server endpoint (num_flows is only a
+            # pair count for the fanout workload, handled below).
+            num_pairs = workload.get("num_servers") or topo_spec.get("num_servers") or 2
+        else:
+            link_rate = topo_spec.get("bottleneck_rate", 10e9)
+            num_pairs = topo_spec.get("num_pairs", 6)
+
+        if workload.kind == "fanout":
+            # Persistent flows: fig6(a)'s convergence/queueing setup.  The
+            # access links are over-provisioned so the shared link is the
+            # one bottleneck.
+            num_flows = workload.get("num_flows", 2)
+            network = single_link_network(scheme, num_flows=num_flows, link_rate=link_rate)
+            for i in range(num_flows):
+                network.add_flow(
+                    FlowDescriptor(
+                        flow_id=i, source=("sender", i), destination=("receiver", i)
+                    )
+                )
+            network.run(spec.size("duration", 0.02))
+            result.artifacts["network"] = network
+            for i in range(num_flows):
+                result.add_row(flow=i, delivered_persistent=True)
+            return
+
+        # Sized arrivals on a dumbbell (fig7's setup): pair i carries every
+        # arrival whose source hashes to i.
+        arrivals = materialize_arrivals(spec, build_fluid_topology(spec))
+        sim_params = SimulationParameters(
+            num_servers=2 * num_pairs,
+            edge_link_rate=link_rate,
+            core_link_rate=link_rate,
+            baseline_rtt=baseline_rtt,
+        )
+        access_rate = topo_spec.get("access_rate") or link_rate
+        network = dumbbell(
+            scheme,
+            num_pairs=num_pairs,
+            bottleneck_rate=link_rate,
+            access_rate=access_rate,
+            params=sim_params,
+        )
+
+        def pair_endpoints(arrival):
+            pair = arrival.source % num_pairs
+            return ("sender", pair), ("receiver", pair)
+
+        run_sized_arrivals(network, arrivals, pair_endpoints)
+    elif topo_spec.kind == "leaf_spine":
+        params = SimulationParameters(
+            num_servers=topo_spec.get("num_servers", 128),
+            num_leaves=topo_spec.get("num_leaves", 8),
+            num_spines=topo_spec.get("num_spines", 4),
+            edge_link_rate=topo_spec.get("edge_link_rate", 10e9),
+            core_link_rate=topo_spec.get("core_link_rate", 40e9),
+            baseline_rtt=baseline_rtt,
+        )
+        arrivals = materialize_arrivals(spec, build_fluid_topology(spec))
+        network = leaf_spine_network(scheme, params=params)
+        run_sized_arrivals(
+            network,
+            arrivals,
+            lambda arrival: (("server", arrival.source), ("server", arrival.destination)),
+        )
+    else:
+        raise ValueError(
+            f"topology kind {topo_spec.kind!r} has no packet-level realization"
+        )
+
+    completions = list(network.fct_tracker.completions)
+    result.artifacts["completions"] = completions
+    result.artifacts["arrivals"] = arrivals
+    result.artifacts["network"] = network
+    for completion in completions:
+        result.add_row(
+            flow=completion.flow_id,
+            size_bytes=completion.size_bytes,
+            start_time=completion.start_time,
+            finish_time=completion.finish_time,
+            fct=completion.completion_time,
+        )

@@ -15,6 +15,9 @@ from repro.workloads.semidynamic import (
     arrivals_from_scenario,
 )
 from repro.workloads.permutation import PermutationTraffic, permutation_pairs
+from repro.workloads.incast import IncastTrafficGenerator
+from repro.workloads.hotspot import HotspotTrafficGenerator
+from repro.workloads.trace import arrivals_from_trace, trace_from_arrivals
 
 __all__ = [
     "FlowSizeDistribution",
@@ -30,4 +33,8 @@ __all__ = [
     "arrivals_from_scenario",
     "PermutationTraffic",
     "permutation_pairs",
+    "IncastTrafficGenerator",
+    "HotspotTrafficGenerator",
+    "arrivals_from_trace",
+    "trace_from_arrivals",
 ]

@@ -1,0 +1,91 @@
+"""Hotspot workload: Poisson arrivals with a skewed destination popularity.
+
+Real datacenter traffic is rarely uniform: a few services (a storage
+cluster, a popular cache shard) attract a disproportionate share of the
+flows.  This generator layers that skew on top of the paper's Poisson
+arrival process -- a configurable fraction of flows target a small "hot"
+server set, the rest are uniform -- so schemes can be exercised under
+persistent congestion concentrated on a handful of links.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.workloads.distributions import FlowSizeDistribution
+from repro.workloads.poisson import FlowArrival, PoissonTrafficGenerator
+
+
+class HotspotTrafficGenerator(PoissonTrafficGenerator):
+    """Poisson arrivals whose destinations are biased toward a hot set.
+
+    With probability ``hot_fraction`` a flow's destination is drawn
+    uniformly from ``hot_servers`` (defaulting to the first
+    ``num_hot`` servers); otherwise source and destination are uniform as
+    in :class:`~repro.workloads.poisson.PoissonTrafficGenerator`.  Sources
+    are always uniform (excluding the destination), so hot servers receive
+    -- rather than send -- the extra load.
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        size_distribution: FlowSizeDistribution,
+        load: float,
+        hot_fraction: float = 0.5,
+        num_hot: int = 2,
+        hot_servers: Optional[Sequence[int]] = None,
+        link_rate: float = 10e9,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(
+            num_servers=num_servers,
+            size_distribution=size_distribution,
+            load=load,
+            link_rate=link_rate,
+            seed=seed,
+        )
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if hot_servers is None:
+            if not 1 <= num_hot < num_servers:
+                raise ValueError("num_hot must be in 1..num_servers-1")
+            hot_servers = tuple(range(num_hot))
+        else:
+            hot_servers = tuple(hot_servers)
+            if not hot_servers:
+                raise ValueError("hot_servers must be non-empty")
+            if any(not 0 <= s < num_servers for s in hot_servers):
+                raise ValueError("hot_servers out of range")
+        self.hot_fraction = hot_fraction
+        self.hot_servers = hot_servers
+
+    def arrivals(self, duration=None, max_flows=None):
+        """Yield skewed arrivals (same Poisson clock as the uniform generator)."""
+        for arrival in super().arrivals(duration=duration, max_flows=max_flows):
+            if self.rng.random() >= self.hot_fraction:
+                yield arrival
+                continue
+            hot = self.rng.choice(self.hot_servers)
+            source = arrival.source
+            if source == hot:
+                # Redraw the source uniformly among the other servers so the
+                # hot destination never talks to itself.
+                source = self.rng.randrange(self.num_servers - 1)
+                if source >= hot:
+                    source += 1
+            yield FlowArrival(
+                flow_id=arrival.flow_id,
+                time=arrival.time,
+                source=source,
+                destination=hot,
+                size_bytes=arrival.size_bytes,
+            )
+
+    def hot_load_share(self, arrivals: List[FlowArrival]) -> float:
+        """Fraction of bytes destined to the hot set (diagnostic helper)."""
+        total = sum(a.size_bytes for a in arrivals)
+        if total == 0:
+            return 0.0
+        hot = sum(a.size_bytes for a in arrivals if a.destination in self.hot_servers)
+        return hot / total

@@ -1,0 +1,105 @@
+"""Incast (N-to-1) workload: many senders converge on one receiver.
+
+The classic datacenter fan-in pattern (partition/aggregate, distributed
+storage reads): ``num_senders`` servers fire a response at the same
+aggregator within a tiny jitter window, and the receiver's access link
+becomes the bottleneck.  The paper never ran this pattern; it exercises
+exactly the regime where a fast-converging allocation scheme matters most,
+because every wave is a full flow-set change.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.workloads.distributions import FlowSizeDistribution
+from repro.workloads.poisson import FlowArrival
+
+
+class IncastTrafficGenerator:
+    """Generates synchronized N-to-1 arrival waves.
+
+    Parameters
+    ----------
+    num_servers:
+        Total servers in the fabric; senders are drawn from the servers
+        other than the receiver.
+    receiver:
+        The aggregator server every flow targets.
+    num_senders:
+        Fan-in degree of each wave (at most ``num_servers - 1``).
+    response_bytes:
+        Fixed response size; mutually exclusive with ``size_distribution``.
+    size_distribution:
+        Optional per-flow size distribution (overrides ``response_bytes``).
+    wave_interval:
+        Seconds between consecutive wave starts.
+    jitter:
+        Each sender's start is offset by Uniform(0, jitter) seconds within
+        its wave (0 means perfectly synchronized).
+    seed:
+        Seed for sender selection, sizes and jitter (reproducible runs).
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        receiver: int = 0,
+        num_senders: int = 8,
+        response_bytes: int = 20_000,
+        size_distribution: Optional[FlowSizeDistribution] = None,
+        wave_interval: float = 1e-3,
+        jitter: float = 0.0,
+        seed: Optional[int] = None,
+    ):
+        if num_servers < 2:
+            raise ValueError("need at least two servers")
+        if not 0 <= receiver < num_servers:
+            raise ValueError(f"receiver {receiver} out of range 0..{num_servers - 1}")
+        if not 1 <= num_senders <= num_servers - 1:
+            raise ValueError("num_senders must be in 1..num_servers-1")
+        if response_bytes <= 0:
+            raise ValueError("response_bytes must be positive")
+        if wave_interval <= 0:
+            raise ValueError("wave_interval must be positive")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self.num_servers = num_servers
+        self.receiver = receiver
+        self.num_senders = num_senders
+        self.response_bytes = response_bytes
+        self.size_distribution = size_distribution
+        self.wave_interval = wave_interval
+        self.jitter = jitter
+        self.rng = random.Random(seed)
+
+    def generate(self, waves: int = 1) -> List[FlowArrival]:
+        """Materialize ``waves`` consecutive incast waves as flow arrivals."""
+        if waves < 1:
+            raise ValueError("need at least one wave")
+        candidates = [s for s in range(self.num_servers) if s != self.receiver]
+        arrivals: List[FlowArrival] = []
+        flow_id = 0
+        for wave in range(waves):
+            base = wave * self.wave_interval
+            senders = self.rng.sample(candidates, self.num_senders)
+            for sender in senders:
+                offset = self.rng.uniform(0.0, self.jitter) if self.jitter > 0 else 0.0
+                size = (
+                    self.size_distribution.sample(self.rng)
+                    if self.size_distribution is not None
+                    else self.response_bytes
+                )
+                arrivals.append(
+                    FlowArrival(
+                        flow_id=flow_id,
+                        time=base + offset,
+                        source=sender,
+                        destination=self.receiver,
+                        size_bytes=size,
+                    )
+                )
+                flow_id += 1
+        arrivals.sort(key=lambda a: a.time)
+        return arrivals

@@ -33,6 +33,35 @@ class TestRegistry:
     def test_format_table_empty(self):
         assert format_table([]) == "(no rows)"
 
+    def test_format_table_ragged_rows(self):
+        # Rows with mixed/missing columns: the header must show the union,
+        # missing cells render as '-', and nothing raises.
+        rows = [
+            {"a": 1},
+            {"b": 2.5},
+            {"a": 3, "c": "x"},
+        ]
+        rendered = format_table(rows)
+        header = rendered.splitlines()[0]
+        for col in ("a", "b", "c"):
+            assert col in header
+        body = rendered.splitlines()[2:]
+        assert len(body) == 3
+        assert "-" in body[0]  # row 1 has no 'b'/'c'
+
+    def test_format_table_all_empty_rows(self):
+        # A column absent from every row (only empty dicts) must not crash
+        # the width computation with max() on an empty sequence.
+        assert format_table([{}, {}]) == "(no columns)"
+
+    def test_format_table_column_only_in_header_position(self):
+        # One wide column name, values narrower than the header everywhere.
+        rows = [{"a_very_long_column_name": 1}, {}]
+        rendered = format_table(rows)
+        assert rendered.splitlines()[0].strip() == "a_very_long_column_name"
+        assert rendered.splitlines()[2].startswith("1")
+        assert rendered.splitlines()[3].strip() == "-"
+
 
 class TestFig4:
     def test_convergence_cdf_tiny(self):

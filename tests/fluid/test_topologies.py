@@ -1,0 +1,131 @@
+"""Topology builder tests: fat-tree path correctness, leaf-spine edge cases."""
+
+import pytest
+
+from repro.core.config import SimulationParameters
+from repro.fluid.topologies import fat_tree, leaf_spine
+
+
+class TestFatTreeStructure:
+    def test_host_and_link_counts(self):
+        fabric = fat_tree(k=4)
+        assert fabric.num_servers == 16
+        assert fabric.hosts_per_pod == 4
+        assert fabric.num_core_paths == 4
+        links = fabric.network.links
+        # Per direction: 16 host links, k pods x (k/2)^2 edge<->agg links,
+        # k pods x (k/2)^2 agg<->core links -- 48 each way.
+        assert len(links) == 2 * (16 + 4 * 4 + 4 * 4)
+
+    def test_k_must_be_even(self):
+        with pytest.raises(ValueError):
+            fat_tree(k=3)
+        with pytest.raises(ValueError):
+            fat_tree(k=0)
+
+    def test_addressing(self):
+        fabric = fat_tree(k=4)
+        assert fabric.pod_of(0) == 0
+        assert fabric.pod_of(15) == 3
+        assert fabric.edge_of(0) == (0, 0)
+        assert fabric.edge_of(3) == (0, 1)
+        assert fabric.edge_of(5) == (1, 0)
+        with pytest.raises(ValueError):
+            fabric.pod_of(16)
+
+
+class TestFatTreePaths:
+    @pytest.fixture
+    def fabric(self):
+        return fat_tree(k=4)
+
+    def test_same_edge_two_hops(self, fabric):
+        path = fabric.path(0, 1)
+        assert path == (("host-up", 0), ("host-down", 1))
+
+    def test_same_pod_four_hops(self, fabric):
+        # Hosts 0 and 2 share pod 0 but hang off different edge switches.
+        path = fabric.path(0, 2, agg=1)
+        assert len(path) == 4
+        assert path[0] == ("host-up", 0)
+        assert path[1] == ("edge-up", 0, 0, 1)
+        assert path[2] == ("edge-down", 0, 1, 1)
+        assert path[3] == ("host-down", 2)
+
+    def test_cross_pod_six_hops(self, fabric):
+        path = fabric.path(0, 15, agg=0, core=1)
+        assert len(path) == 6
+        assert path[1] == ("edge-up", 0, 0, 0)
+        assert path[2] == ("agg-up", 0, 0, 1)
+        assert path[3] == ("agg-down", 0, 1, 3)
+        assert path[4] == ("edge-down", 3, 0, 1)
+
+    def test_every_path_link_exists_in_network(self, fabric):
+        capacities = set(fabric.network.links)
+        for src in range(fabric.num_servers):
+            for dst in range(fabric.num_servers):
+                if src == dst:
+                    continue
+                for path in fabric.all_paths(src, dst):
+                    for link in path:
+                        assert link in capacities, f"{link} missing for {src}->{dst}"
+
+    def test_all_paths_counts(self, fabric):
+        assert len(fabric.all_paths(0, 1)) == 1  # same edge
+        assert len(fabric.all_paths(0, 2)) == 2  # same pod: k/2 agg choices
+        assert len(fabric.all_paths(0, 15)) == 4  # cross pod: (k/2)^2
+        # All enumerated paths are distinct.
+        paths = fabric.all_paths(0, 15)
+        assert len(set(paths)) == len(paths)
+
+    def test_default_choice_is_deterministic(self, fabric):
+        assert fabric.path(0, 15) == fabric.path(0, 15)
+
+    def test_path_rejects_bad_inputs(self, fabric):
+        with pytest.raises(ValueError):
+            fabric.path(0, 0)
+        with pytest.raises(ValueError):
+            fabric.path(0, 99)
+        with pytest.raises(ValueError):
+            fabric.path(0, 15, agg=2)
+        with pytest.raises(ValueError):
+            fabric.path(0, 15, agg=0, core=7)
+
+    def test_larger_radix(self):
+        fabric = fat_tree(k=6)
+        assert fabric.num_servers == 54
+        assert len(fabric.all_paths(0, 53)) == 9
+        path = fabric.path(0, 53)
+        assert len(path) == 6
+
+
+class TestLeafSpinePaths:
+    @pytest.fixture
+    def fabric(self):
+        params = SimulationParameters(num_servers=16, num_leaves=4, num_spines=2)
+        return leaf_spine(params)
+
+    def test_all_spine_paths_cross_leaf(self, fabric):
+        paths = fabric.all_spine_paths(0, 8)
+        assert len(paths) == 2
+        for spine, path in enumerate(paths):
+            assert path == (
+                ("host-up", 0),
+                ("up", 0, spine),
+                ("down", spine, 2),
+                ("host-down", 8),
+            )
+
+    def test_all_spine_paths_same_leaf_single_path(self, fabric):
+        # src and dst under the same leaf: exactly one two-hop path, no
+        # spine involvement (the edge case the ECMP enumeration must skip).
+        paths = fabric.all_spine_paths(0, 1)
+        assert paths == [(("host-up", 0), ("host-down", 1))]
+
+    def test_all_spine_paths_same_server_rejected(self, fabric):
+        with pytest.raises(ValueError):
+            fabric.all_spine_paths(3, 3)
+
+    def test_path_spine_out_of_range(self, fabric):
+        with pytest.raises(ValueError):
+            fabric.path(0, 8, spine=5)

@@ -1,0 +1,35 @@
+"""Scenario smoke suite: every registered scenario, every supported engine.
+
+Each case builds a registered scenario at toy scale and executes it on one
+of the engines it declares -- the regression net for "adding a scenario
+means writing a spec": if a spec/engine combination breaks, exactly one
+case fails.  Marked ``scenario_smoke`` so CI can run the sweep explicitly
+(``pytest -m scenario_smoke``); deselect with ``-m "not scenario_smoke"``.
+"""
+
+import pytest
+
+from repro.scenarios import get_scenario, list_scenarios, run_scenario
+
+CASES = [
+    (entry.name, engine) for entry in list_scenarios() for engine in entry.engines
+]
+
+
+@pytest.mark.scenario_smoke
+@pytest.mark.parametrize("name,engine", CASES, ids=[f"{n}@{e}" for n, e in CASES])
+def test_scenario_toy_scale(name, engine):
+    spec = get_scenario(name, scale="toy")
+    result = run_scenario(spec, engine=engine, seed=20)
+    assert result.artifacts["engine"] == engine
+    assert result.rows, f"{name} on {engine} produced no rows"
+    # Every engine reports its raw outputs for post-processing.
+    artifacts = result.artifacts
+    if engine == "fluid":
+        assert (
+            "final_rates" in artifacts
+            or "convergence_seconds" in artifacts
+            or "convergence" in artifacts
+        )
+    else:
+        assert "completions" in artifacts or "network" in artifacts
