@@ -24,3 +24,8 @@ def pytest_configure(config):
         "scenario_smoke: every registered scenario at toy scale on all of its "
         'engines (deselect with -m "not scenario_smoke")',
     )
+    config.addinivalue_line(
+        "markers",
+        "fault_smoke: every fault-injection scenario at toy scale on all of "
+        'its engines (deselect with -m "not fault_smoke")',
+    )

@@ -1,11 +1,15 @@
-"""Analysis utilities: statistics, convergence, rate deviation and FCT."""
+"""Analysis utilities: statistics, convergence, deviation, FCT, resilience."""
 
 from repro.analysis.stats import BoxStats, cdf_points, percentile, summarize
 from repro.analysis.convergence import ewma_filter, measure_convergence_time
 from repro.analysis.deviation import bin_by_bdp, normalized_deviation, DeviationBin
 from repro.analysis.fct import FctRecord, FctSummary, ideal_fct, normalized_fct, summarize_fcts
+from repro.analysis.resilience import ResilienceReport, jain_index, resilience_report
 
 __all__ = [
+    "ResilienceReport",
+    "jain_index",
+    "resilience_report",
     "BoxStats",
     "cdf_points",
     "percentile",

@@ -1,0 +1,135 @@
+"""Resilience metrics for fault-injection runs (re-convergence, floors).
+
+The paper's headline claim is *fast re-convergence* of the distributed
+allocation after network events; the fault subsystem
+(:mod:`repro.scenarios.faults`) generalizes those events to failures,
+degradations and fluctuating capacity.  This module turns a recorded rate
+timeseries plus the compiled fault schedule into three measurements:
+
+* **re-convergence time** -- iterations/seconds from the *last* capacity
+  change until the paper's convergence criterion holds against the
+  post-fault Oracle optimum (solved at the final capacities);
+* **throughput floor** -- the worst total throughput while the fault plan
+  is active, absolute and as a fraction of the pre-fault throughput;
+* **affected-flow fairness** -- Jain's index over the final rates of the
+  flows that cross a faulted link, normalized by their post-fault optimum
+  so heterogeneous paths compare meaningfully.
+
+``run_scenario`` surfaces the report under
+``ExperimentResult.artifacts["resilience"]`` for every fluid run with a
+fault plan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.fluid.convergence import ConvergenceCriterion, convergence_iterations
+
+FlowId = object
+
+
+def jain_index(values: Sequence[float]) -> Optional[float]:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)``.
+
+    ``None`` for an empty sequence; 1.0 when every value is zero (a
+    degenerate but perfectly equal allocation, e.g. all affected flows
+    pinned to zero during a hard failure).
+    """
+    values = list(values)
+    if not values:
+        return None
+    square_sum = sum(v * v for v in values)
+    if square_sum <= 0.0:
+        return 1.0
+    total = sum(values)
+    return (total * total) / (len(values) * square_sum)
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """One fault run's resilience measurements (see module docstring)."""
+
+    fault_start_step: int
+    fault_end_step: int
+    pre_fault_throughput_bps: float
+    throughput_floor_bps: float
+    throughput_floor_fraction: Optional[float]
+    reconvergence_iterations: float
+    reconvergence_seconds: float
+    affected_flow_count: int
+    affected_fairness: Optional[float]
+
+    @property
+    def reconverged(self) -> bool:
+        return math.isfinite(self.reconvergence_iterations)
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def resilience_report(
+    timeseries: Sequence[Mapping[FlowId, float]],
+    fault_steps: Sequence[int],
+    post_fault_oracle: Mapping[FlowId, float],
+    seconds_per_iteration: float,
+    affected_flows: Iterable[FlowId] = (),
+    criterion: Optional[ConvergenceCriterion] = None,
+) -> ResilienceReport:
+    """Compute the resilience metrics of one recorded fault run.
+
+    Parameters
+    ----------
+    timeseries:
+        Per-iteration rate dictionaries covering the whole run.
+    fault_steps:
+        Step indices at which capacity changes were applied (the compiled
+        fault schedule); must be non-empty.
+    post_fault_oracle:
+        The Oracle optimum at the *final* (post-fault) capacities -- the
+        re-convergence target.
+    affected_flows:
+        Flows crossing at least one faulted link.
+    """
+    if not timeseries:
+        raise ValueError("resilience_report needs a non-empty timeseries")
+    fault_steps = sorted(fault_steps)
+    if not fault_steps:
+        raise ValueError("resilience_report needs at least one fault step")
+    criterion = criterion or ConvergenceCriterion(hold_iterations=3)
+    last = len(timeseries) - 1
+    start = min(max(fault_steps[0], 0), last)
+    end = min(max(fault_steps[-1], 0), last)
+
+    totals: List[float] = [sum(rates.values()) for rates in timeseries]
+    # Pre-fault reference: the iteration just before the first change (the
+    # first iteration when the fault hits at step 0).
+    pre = totals[start - 1] if start > 0 else totals[0]
+    floor = min(totals[start : end + 1]) if end >= start else pre
+    floor_fraction = (floor / pre) if pre > 0.0 else None
+
+    # Re-convergence clock starts at the last capacity change.
+    its = convergence_iterations(timeseries[end:], post_fault_oracle, criterion)
+    reconvergence_iterations = float("inf") if its is None else float(its)
+    reconvergence_seconds = reconvergence_iterations * seconds_per_iteration
+
+    affected = list(affected_flows)
+    final_rates = timeseries[-1]
+    normalized: List[float] = []
+    for flow_id in affected:
+        optimum = post_fault_oracle.get(flow_id, 0.0)
+        rate = final_rates.get(flow_id, 0.0)
+        normalized.append(rate / optimum if optimum > 0.0 else rate)
+    return ResilienceReport(
+        fault_start_step=start,
+        fault_end_step=end,
+        pre_fault_throughput_bps=pre,
+        throughput_floor_bps=floor,
+        throughput_floor_fraction=floor_fraction,
+        reconvergence_iterations=reconvergence_iterations,
+        reconvergence_seconds=reconvergence_seconds,
+        affected_flow_count=len(affected),
+        affected_fairness=jain_index(normalized),
+    )

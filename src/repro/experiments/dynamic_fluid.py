@@ -73,6 +73,16 @@ class RatePolicy:
     def on_flow_set_changed(self, network: FluidNetwork) -> None:
         """Called after any arrival or departure batch."""
 
+    def on_capacity_changed(self, network: FluidNetwork) -> None:
+        """Called after fault injection changes link capacities mid-run.
+
+        Defaults to :meth:`on_flow_set_changed`: for every built-in policy
+        invalidating the cached allocation is exactly what is needed (the
+        fluid simulators and the persistent dual solver additionally notice
+        the network's ``capacity_version`` bump on their next step/solve).
+        """
+        self.on_flow_set_changed(network)
+
     def rates(self, network: FluidNetwork, dt: float) -> Dict[object, float]:
         """Return the rates to apply for the next ``dt`` seconds."""
         raise NotImplementedError
@@ -295,6 +305,7 @@ class FlowLevelSimulation:
         step_interval: float = 30e-6,
         utility_for_arrival: Optional[Callable[[FlowArrival], Utility]] = None,
         backend: str = "array",
+        fault_injector=None,
     ):
         if backend not in ("array", "dict"):
             raise ValueError(f"unknown flow-level backend {backend!r}")
@@ -302,6 +313,13 @@ class FlowLevelSimulation:
         self.path_for_arrival = path_for_arrival
         self.rate_policy = rate_policy
         self.step_interval = step_interval
+        #: Optional :class:`~repro.scenarios.faults.CapacityInjector` (or any
+        #: object with ``apply_until(set_capacity, time) -> int``); capacity
+        #: changes apply at step boundaries, then the policy is invalidated.
+        self.fault_injector = fault_injector
+        self._on_capacity_changed = getattr(
+            rate_policy, "on_capacity_changed", rate_policy.on_flow_set_changed
+        )
         self.utility_for_arrival = utility_for_arrival or (lambda arrival: LogUtility())
         self.backend = backend
         self.completed: List[CompletedFlow] = []
@@ -354,6 +372,13 @@ class FlowLevelSimulation:
             FluidFlow(arrival.flow_id, path, self.utility_for_arrival(arrival))
         )
 
+    def _inject_faults(self, time: float) -> None:
+        """Apply every fault-timeline change due by ``time``."""
+        if self.fault_injector is None:
+            return
+        if self.fault_injector.apply_until(self.network.set_capacity, time):
+            self._on_capacity_changed(self.network)
+
     # -- dict backend (parity reference) ----------------------------------
 
     def _run_dict(
@@ -364,6 +389,7 @@ class FlowLevelSimulation:
         horizon = max_time if max_time is not None else float("inf")
 
         while time < horizon and (index < len(pending) or self._remaining_bytes):
+            self._inject_faults(time)
             # Admit every flow that has arrived by now.
             changed = False
             while index < len(pending) and pending[index].time <= time:
@@ -470,6 +496,7 @@ class FlowLevelSimulation:
         dt = self.step_interval
 
         while time < horizon and (index < len(pending) or self._count):
+            self._inject_faults(time)
             changed = False
             while index < len(pending) and pending[index].time <= time:
                 arrival = pending[index]

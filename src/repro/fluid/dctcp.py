@@ -191,9 +191,15 @@ class DctcpFluidSimulator(VectorizedBackendMixin):
         self._ecn_dirty = True
         self._store_link_vector(self.queues, queues)
 
+        # Report *delivered* rates: the offered load (window / RTT) drives
+        # the queue/marking dynamics above, but a flow can never deliver
+        # more than its narrowest link -- in particular a flow crossing a
+        # failed (zero-capacity) link delivers nothing even though its
+        # window is floored at one MTU.
+        delivered = np.minimum(rate_vec, compiled.path_capacities(capacities))
         record = DctcpIterationRecord(
             iteration=self.iteration,
-            rates=dict(zip(compiled.flow_ids, rate_vec.tolist())),
+            rates=dict(zip(compiled.flow_ids, delivered.tolist())),
             queues=dict(self.queues),
         )
         self.iteration += 1
@@ -234,8 +240,14 @@ class DctcpFluidSimulator(VectorizedBackendMixin):
                 self.windows[flow_id] += params.mtu_bits
             self.windows[flow_id] = max(self.windows[flow_id], params.mtu_bits)
 
+        # Delivered rates (see the vectorized step): offered load drives the
+        # queues, but no flow delivers past its narrowest link.
+        delivered = {
+            flow_id: min(rate, self.network.path_capacity(flow_id))
+            for flow_id, rate in rates.items()
+        }
         record = DctcpIterationRecord(
-            iteration=self.iteration, rates=dict(rates), queues=dict(self.queues)
+            iteration=self.iteration, rates=delivered, queues=dict(self.queues)
         )
         self.iteration += 1
         return record

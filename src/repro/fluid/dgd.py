@@ -119,7 +119,13 @@ class DgdFluidSimulator(VectorizedBackendMixin):
         # Link side, Eq. (14): integrate the backlog and move every price
         # from its local mismatch, all links at once.
         dt = self.params.update_interval
-        excess = (compiled.link_load(rate_vec) - capacities) / capacities
+        # A failed (zero-capacity) link carries no traffic -- flows crossing
+        # it are window-limited to zero path capacity -- so its mismatch is
+        # defined as zero instead of 0/0 (same guard as the scalar branch).
+        live = capacities > 0.0
+        excess = np.zeros_like(capacities)
+        np.divide(compiled.link_load(rate_vec) - capacities, capacities,
+                  out=excess, where=live)
         queues = np.maximum(self._link_vector(self.queues) + excess * dt, 0.0)
         queue_in_bdp = queues / self.params.rtt
         price_scale = np.maximum(prices, 1e-12)
@@ -148,7 +154,9 @@ class DgdFluidSimulator(VectorizedBackendMixin):
         for link, capacity in capacities.items():
             # Queue backlog (in "capacity-seconds", i.e. normalized bytes):
             # integrates the over-subscription, drains when under-subscribed.
-            excess = (load[link] - capacity) / capacity
+            # A failed (zero-capacity) link carries no traffic, so its
+            # mismatch is zero by definition rather than 0/0.
+            excess = (load[link] - capacity) / capacity if capacity > 0.0 else 0.0
             self.queues[link] = max(self.queues[link] + excess * dt, 0.0)
             queue_in_bdp = self.queues[link] / self.params.rtt
             # Scale the additive update by the typical price magnitude so the

@@ -138,9 +138,14 @@ class FluidNetwork:
         return self._capacity_version
 
     def set_capacity(self, link: LinkId, capacity: float) -> None:
-        """Change a link's capacity (used by the Fig. 10 experiment)."""
-        if capacity <= 0:
-            raise ValueError("capacity must be positive")
+        """Change a link's capacity (Fig. 10 experiment, fault injection).
+
+        Zero is allowed and means a failed link: flows crossing it have a
+        path capacity of zero and every solver pins their rate to zero
+        while keeping prices finite (see ``tests/fluid/test_zero_capacity``).
+        """
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
         if link not in self._capacities:
             raise KeyError(f"unknown link {link!r}")
         self._capacities[link] = capacity

@@ -71,7 +71,14 @@ class OracleResult:
 
 
 def _path_price(prices: np.ndarray, link_index: Mapping[LinkId, int], path) -> float:
-    return float(sum(prices[link_index[link]] for link in path))
+    # Links excluded from the dual (no flows, or failed with zero capacity)
+    # contribute a price of zero.
+    total = 0.0
+    for link in path:
+        index = link_index.get(link)
+        if index is not None:
+            total += prices[index]
+    return float(total)
 
 
 def estimate_price_scale(network: FluidNetwork, backend: str = "vectorized") -> Dict[LinkId, float]:
@@ -94,7 +101,7 @@ def estimate_price_scale(network: FluidNetwork, backend: str = "vectorized") -> 
         scales: Dict[LinkId, float] = {}
         for link in network.links:
             flows_here = network.flows_on_link(link)
-            if not flows_here:
+            if not flows_here or network.capacity(link) <= 0.0:
                 continue
             share = network.capacity(link) / len(flows_here)
             marginals = sorted(flow.utility.marginal(share) for flow in flows_here)
@@ -120,10 +127,12 @@ def _scale_medians(compiled: CompiledFluidNetwork) -> Tuple[np.ndarray, np.ndarr
     """
     incidence = compiled.incidence
     counts = incidence.sum(axis=1)
-    active = counts > 0
+    capacities = compiled.capacities_vector()
+    # Failed (zero-capacity) links are skipped: an equal share of zero would
+    # produce the _EPSILON-floored marginal (~1e30) and poison the medians.
+    active = (counts > 0) & (capacities > 0.0)
     if not active.any():
         return np.empty(0, dtype=np.intp), np.empty(0)
-    capacities = compiled.capacities_vector()
     shares = np.where(active, capacities / np.maximum(counts, 1), 1.0)
     # One marginal per (link, flow-on-link) at that link's equal share; the
     # placeholder rate 1.0 for non-members is masked to +inf before sorting,
@@ -422,7 +431,15 @@ def _solve_num_scalar(
     used = set()
     for flow in flows:
         used.update(flow.path)
-    active_links = [link for link in links if link in used]
+    # Failed (zero-capacity) links are excluded like flowless ones: their
+    # price stays zero and path-capacity clipping already pins every flow
+    # crossing them to a zero rate, so they cannot condition the dual.
+    active_links = [link for link in links if link in used and network.capacity(link) > 0.0]
+    if not active_links:
+        rates = {flow.flow_id: 0.0 for flow in flows}
+        return OracleResult(rates=rates, prices={link: 0.0 for link in links},
+                            objective=network.total_utility(rates),
+                            iterations=0, converged=True)
     link_index = {link: i for i, link in enumerate(active_links)}
     capacities = np.array([network.capacity(link) for link in active_links], dtype=float)
 
@@ -456,7 +473,9 @@ def _solve_num_scalar(
             q = _path_price(prices, link_index, flow.path)
             value += flow.utility.value(x) - x * q
             for link in flow.path:
-                load[link_index[link]] += x
+                index = link_index.get(link)  # dead links are not in the dual
+                if index is not None:
+                    load[index] += x
         gradient = scale_vec * (capacities - load)
         return value / objective_scale, gradient / objective_scale
 
@@ -497,7 +516,10 @@ def _solve_num_vectorized(
     compiled = compile_network(network)
     vec_utils = compiled.vec_utils
     capacities_all = compiled.capacities_vector()
-    active = compiled.incidence.any(axis=1)
+    # Failed (zero-capacity) links are excluded like flowless ones: their
+    # price stays zero and path-capacity clipping already pins every flow
+    # crossing them to a zero rate, so they cannot condition the dual.
+    active = compiled.incidence.any(axis=1) & (capacities_all > 0.0)
     active_idx = np.nonzero(active)[0]
     active_links = [compiled.link_ids[i] for i in active_idx]
     incidence = compiled.incidence[active]
@@ -506,6 +528,12 @@ def _solve_num_vectorized(
 
     path_caps = compiled.path_capacities(capacities_all)
     floors = path_caps * _MIN_RATE_FRACTION
+
+    if not active_idx.size:
+        rates = {flow.flow_id: 0.0 for flow in flows}
+        return OracleResult(rates=rates, prices={link: 0.0 for link in links},
+                            objective=network.total_utility(rates),
+                            iterations=0, converged=True)
 
     scale_vec = _scale_vector(price_scale, network, "vectorized", active_links)
     objective_scale = float(np.max(capacities) * np.median(scale_vec))
@@ -541,8 +569,14 @@ def _solve_num_vectorized(
 
     maxmin_rates = maxmin_objective = None
     if safeguard:
+        # The reference allocation must respect *all* carrying links,
+        # including failed (zero-capacity) ones excluded from the dual --
+        # otherwise a dead-link flow looks entitled to a positive rate and
+        # the safeguard wrongly rejects the (correct) dual solution.
+        carrying = compiled.incidence.any(axis=1)
         maxmin_vec = waterfill_arrays(
-            incidence, incidence_f, np.ones(len(compiled.flow_ids)), capacities
+            compiled.incidence[carrying], compiled.incidence_f[carrying],
+            np.ones(len(compiled.flow_ids)), capacities_all[carrying],
         )
         maxmin_objective = float(vec_utils.value(maxmin_vec).sum())
         maxmin_rates = dict(zip(compiled.flow_ids, maxmin_vec.tolist()))
@@ -648,6 +682,7 @@ class PersistentDualSolver:
         self._scale_fill = 1.0
         self._churned_solves = 0
         self._last_version: Optional[int] = None
+        self._last_capacity_version: Optional[int] = None
         self._step: Optional[float] = None
         self._warm = False
 
@@ -659,6 +694,7 @@ class PersistentDualSolver:
         self._scale_valid = None
         self._churned_solves = 0
         self._last_version = None
+        self._last_capacity_version = None
         self._step = None
         self._warm = False
 
@@ -710,9 +746,22 @@ class PersistentDualSolver:
         if self._last_version != compiled.version:
             self._churned_solves += 1
             self._last_version = compiled.version
+        if self._last_capacity_version != network.capacity_version:
+            # Capacity changed (fault injection, Fig. 10 reconfiguration):
+            # the cached conditioning and the spectral step were measured on
+            # the old capacities and can be arbitrarily stale, so force a
+            # scale refresh and drop the curvature estimate.  Warm prices
+            # survive -- the dual optimum moves continuously with capacity.
+            if self._last_capacity_version is not None:
+                self._scale_full = None
+                self._step = None
+            self._last_capacity_version = network.capacity_version
 
         capacities_all = compiled.capacities_vector()
-        active = compiled.incidence.any(axis=1)
+        # Failed (zero-capacity) links are excluded like flowless ones: their
+        # price stays zero (warm prices are retained for their restoration)
+        # and path-capacity clipping pins every flow crossing them to zero.
+        active = compiled.incidence.any(axis=1) & (capacities_all > 0.0)
         active_idx = np.nonzero(active)[0]
         incidence = compiled.incidence[active]
         incidence_f = compiled.incidence_f[active]
@@ -720,6 +769,12 @@ class PersistentDualSolver:
         path_caps = compiled.path_capacities(capacities_all)
         floors = path_caps * _MIN_RATE_FRACTION
         vec_utils = compiled.vec_utils
+
+        if not active_idx.size:
+            rates = {flow.flow_id: 0.0 for flow in flows}
+            return OracleResult(rates=rates, prices={link: 0.0 for link in links},
+                                objective=network.total_utility(rates),
+                                iterations=0, converged=True)
 
         scale_vec = self._scale_for(compiled, active_idx)
         objective_scale = float(np.max(capacities) * np.median(scale_vec))
@@ -777,8 +832,12 @@ class PersistentDualSolver:
 
         maxmin_rates = maxmin_objective = None
         if self.safeguard:
+            # Full-capacity reference (see _solve_num_vectorized): failed
+            # links must constrain the safeguard allocation too.
+            carrying = compiled.incidence.any(axis=1)
             maxmin_vec = waterfill_arrays(
-                incidence, incidence_f, np.ones(len(compiled.flow_ids)), capacities
+                compiled.incidence[carrying], compiled.incidence_f[carrying],
+                np.ones(len(compiled.flow_ids)), capacities_all[carrying],
             )
             maxmin_objective = float(vec_utils.value(maxmin_vec).sum())
             maxmin_rates = dict(zip(compiled.flow_ids, maxmin_vec.tolist()))
@@ -864,7 +923,11 @@ def _rescale_to_feasible_arrays(
 ) -> np.ndarray:
     """Array twin of :func:`_rescale_to_feasible` (same per-flow worst-link rule)."""
     load = incidence_f @ rates
-    ratio = load / capacities
+    # Zero-capacity rows cannot appear from the solvers (dead links are
+    # excluded from the dual), but guard the division so direct callers
+    # with faulted capacities get ratio 0 instead of 0/0 NaN.
+    ratio = np.zeros_like(capacities)
+    np.divide(load, capacities, out=ratio, where=capacities > 0.0)
     if not (ratio > 1.0).any():
         return rates
     worst = np.where(incidence, np.maximum(ratio, 1.0)[:, None], 1.0).max(axis=0)
@@ -878,10 +941,12 @@ def _rescale_to_feasible(network: FluidNetwork, rates: Dict[FlowId, float]) -> D
     tolerance; downstream convergence metrics expect a feasible reference.
     """
     load = network.link_load(rates)
+    # A failed (zero-capacity) link with any load maps to an infinite
+    # overload ratio, which pins every flow crossing it to exactly zero.
     overload = {
-        link: load[link] / network.capacity(link)
-        for link in network.capacities
-        if load[link] > network.capacity(link)
+        link: (load[link] / capacity if capacity > 0.0 else np.inf)
+        for link, capacity in network.capacities.items()
+        if load[link] > capacity
     }
     if not overload:
         return rates

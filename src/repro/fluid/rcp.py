@@ -78,7 +78,13 @@ class RcpStarFluidSimulator(VectorizedBackendMixin):
         alpha = self.params.alpha
         rates: Dict[FlowId, float] = {}
         for flow in self.network.flows:
-            total = sum(self.fair_rates[link] ** (-alpha) for link in flow.path)
+            # A failed link advertises a zero fair share; its ``R^-alpha``
+            # term is infinite, so Eq. (16) combines to a zero rate (the
+            # literal power would raise ZeroDivisionError).
+            total = 0.0
+            for link in flow.path:
+                fair = self.fair_rates[link]
+                total = float("inf") if fair <= 0.0 else total + fair ** (-alpha)
             rate = (
                 total ** (-1.0 / alpha) if total > 0 else self.network.path_capacity(flow.flow_id)
             )
@@ -98,19 +104,32 @@ class RcpStarFluidSimulator(VectorizedBackendMixin):
         # the power sums stay finite and positive on every non-empty path
         # (the scalar total > 0 branch can only be false for zero flows).
         path_caps = compiled.path_capacities(capacities)
-        totals = compiled.incidence_f.T @ fair_rates ** (-params.alpha)
+        # Failed links advertise a zero fair share: exclude them from the
+        # power sum (0 ** -alpha would inject inf into the matmul and NaN
+        # into disjoint paths) and zero out the flows that cross them --
+        # exactly the scalar branch's inf-total behavior.
+        live_fair = fair_rates > 0.0
+        fair_pow = np.zeros_like(fair_rates)
+        np.power(fair_rates, -params.alpha, out=fair_pow, where=live_fair)
+        totals = compiled.incidence_f.T @ fair_pow
         rate_vec = path_caps.copy()  # the scalar fallback when total <= 0
         positive = totals > 0.0
         rate_vec[positive] = totals[positive] ** (-1.0 / params.alpha)
+        if not live_fair.all():
+            dead_path = compiled.incidence_f.T @ (~live_fair).astype(float) > 0.0
+            rate_vec[dead_path] = 0.0
         np.minimum(rate_vec, params.max_outstanding_bdp * path_caps, out=rate_vec)
 
         # Link side, Eq. (15): integrate the backlog and scale every fair
         # rate by its spare-capacity / queue feedback, all links at once.
         interval, rtt = params.update_interval, params.rtt
         load = compiled.link_load(rate_vec)
-        excess = (load - capacities) / capacities
+        live = capacities > 0.0
+        excess = np.zeros_like(capacities)
+        np.divide(load - capacities, capacities, out=excess, where=live)
         queues = np.maximum(self._link_vector(self.queues) + excess * interval, 0.0)
-        spare_fraction = (capacities - load) / capacities
+        spare_fraction = np.zeros_like(capacities)
+        np.divide(capacities - load, capacities, out=spare_fraction, where=live)
         factor = 1.0 + (interval / rtt) * (
             params.gain_a * spare_fraction - params.gain_b * queues / rtt
         )
@@ -137,10 +156,14 @@ class RcpStarFluidSimulator(VectorizedBackendMixin):
         interval = self.params.update_interval
         rtt = self.params.rtt
         for link, capacity in capacities.items():
-            excess = (load[link] - capacity) / capacity
+            if capacity > 0.0:
+                excess = (load[link] - capacity) / capacity
+                spare_fraction = (capacity - load[link]) / capacity
+            else:  # failed link: no traffic, no mismatch (parity with arrays)
+                excess = 0.0
+                spare_fraction = 0.0
             self.queues[link] = max(self.queues[link] + excess * interval, 0.0)
             queue_in_rtt = self.queues[link] / rtt
-            spare_fraction = (capacity - load[link]) / capacity
             factor = 1.0 + (interval / rtt) * (
                 self.params.gain_a * spare_fraction - self.params.gain_b * queue_in_rtt
             )

@@ -179,8 +179,12 @@ class XwiFluidSimulator(VectorizedBackendMixin):
             marginals[j] = self._marginal_utility(flow, rates)
         residuals = (marginals - path_prices) / compiled.path_len
         min_residuals = compiled.link_min(residuals)
-        with np.errstate(invalid="ignore"):
-            utilizations = np.minimum(compiled.link_load(rate_vec) / capacities, 1.0)
+        # Same guard as the scalar branch: a failed (zero-capacity) link is
+        # reported as idle rather than producing a 0/0 NaN in the update.
+        utilizations = np.zeros_like(capacities)
+        np.divide(compiled.link_load(rate_vec), capacities, out=utilizations,
+                  where=capacities > 0.0)
+        np.minimum(utilizations, 1.0, out=utilizations)
         new_prices = price_update_arrays(prices, min_residuals, utilizations, self.params)
         self._store_link_vector(self.prices, new_prices)
 

@@ -56,6 +56,18 @@ from repro.scenarios.catalog import (
     list_scenarios,
     register_scenario,
 )
+from repro.scenarios.faults import (
+    CapacityRamp,
+    CapacityTrace,
+    ControlPlaneFault,
+    FaultPlan,
+    FluctuatingCapacity,
+    LinkDegrade,
+    LinkFail,
+    LinkFlap,
+    LinkRestore,
+    fault_plan,
+)
 from repro.scenarios.runner import run_scenario
 from repro.scenarios.spec import (
     ENGINES,
@@ -76,6 +88,16 @@ __all__ = [
     "FlowSpec",
     "GroupSpec",
     "run_scenario",
+    "FaultPlan",
+    "fault_plan",
+    "LinkFail",
+    "LinkRestore",
+    "LinkDegrade",
+    "LinkFlap",
+    "CapacityRamp",
+    "FluctuatingCapacity",
+    "CapacityTrace",
+    "ControlPlaneFault",
     "SCENARIOS",
     "RegisteredScenario",
     "register_scenario",

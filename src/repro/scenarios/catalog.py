@@ -43,6 +43,16 @@ from repro.scenarios.build import (
     trace_workload,
     two_path_topology,
 )
+from repro.scenarios.faults import (
+    CapacityRamp,
+    ControlPlaneFault,
+    FluctuatingCapacity,
+    LinkDegrade,
+    LinkFail,
+    LinkFlap,
+    LinkRestore,
+    fault_plan,
+)
 from repro.scenarios.spec import ScenarioSpec
 
 # -- spec factories shared with the experiment harnesses --------------------
@@ -476,6 +486,167 @@ def dumbbell_websearch_spec(
     )
 
 
+# -- fault scenarios (adversarial families; see repro.scenarios.faults) -----
+
+
+def midrun_link_failure_spec(
+    num_servers: int = 16,
+    num_leaves: int = 4,
+    num_spines: int = 2,
+    load: float = 0.4,
+    num_flows: int = 30,
+    seed: int = 9,
+    iterations: int = 400,
+    fail_at: float = 1.8e-3,
+    restore_at: float = 3.6e-3,
+    drain: float = 0.1,
+) -> ScenarioSpec:
+    """FAULT: a leaf uplink fails mid-run and is later restored (all engines)."""
+    return ScenarioSpec(
+        name="fault/midrun-link-failure",
+        description="Leaf uplink fails mid-run, then restores (re-convergence)",
+        topology=leaf_spine_topology(
+            num_servers=num_servers, num_leaves=num_leaves, num_spines=num_spines
+        ),
+        workload=poisson_workload("websearch", load=load, num_flows=num_flows),
+        scheme=scheme("NUMFabric"),
+        engine="fluid",
+        engines=("fluid", "flow", "packet"),
+        seed=seed,
+        faults=fault_plan(
+            LinkFail(("up", 0, 0), at=fail_at),
+            LinkRestore(("up", 0, 0), at=restore_at),
+        ),
+        sizing={"iterations": iterations, "drain": drain},
+    )
+
+
+def flapping_spine_spec(
+    num_servers: int = 16,
+    num_leaves: int = 4,
+    num_spines: int = 2,
+    load: float = 0.4,
+    num_flows: int = 30,
+    seed: int = 10,
+    iterations: int = 240,
+    start: float = 1.2e-3,
+    end: float = 3.0e-3,
+    period: float = 0.6e-3,
+) -> ScenarioSpec:
+    """FAULT: one leaf uplink flaps (down half of every period), then settles."""
+    return ScenarioSpec(
+        name="fault/flapping-spine",
+        description="A leaf uplink flaps periodically before settling (fluid, flow)",
+        topology=leaf_spine_topology(
+            num_servers=num_servers, num_leaves=num_leaves, num_spines=num_spines
+        ),
+        workload=poisson_workload("websearch", load=load, num_flows=num_flows),
+        scheme=scheme("NUMFabric"),
+        engine="fluid",
+        engines=("fluid", "flow"),
+        seed=seed,
+        faults=fault_plan(
+            LinkFlap(
+                ("up", 0, 1), start=start, end=end, period=period,
+                down_fraction=0.5, down_factor=0.0,
+            ),
+        ),
+        sizing={"iterations": iterations},
+    )
+
+
+def wireless_bottleneck_spec(
+    capacity: float = 10e9,
+    load: float = 0.4,
+    num_flows: int = 24,
+    num_servers: int = 4,
+    seed: int = 12,
+    iterations: int = 240,
+    start: float = 0.9e-3,
+    end: float = 3.0e-3,
+    interval: float = 0.3e-3,
+) -> ScenarioSpec:
+    """FAULT: the bottleneck capacity fluctuates like a wireless channel."""
+    return ScenarioSpec(
+        name="fault/wireless-bottleneck",
+        description="Stochastically fluctuating bottleneck capacity (wireless-like)",
+        topology=single_link_topology(capacity=capacity),
+        workload=poisson_workload(
+            "websearch",
+            load=load,
+            num_flows=num_flows,
+            link_rate=capacity,
+            num_servers=num_servers,
+        ),
+        scheme=scheme("NUMFabric"),
+        engine="fluid",
+        engines=("fluid", "flow"),
+        seed=seed,
+        faults=fault_plan(
+            FluctuatingCapacity(
+                "link", start=start, end=end, interval=interval,
+                mean_factor=0.6, sigma=0.2, floor_factor=0.1,
+            ),
+        ),
+        sizing={"iterations": iterations},
+    )
+
+
+def degradation_ramp_spec(
+    capacity: float = 1e9,
+    num_flows: int = 3,
+    iterations: int = 240,
+    ramp_steps: int = 4,
+    duration: float = 5e-3,
+) -> ScenarioSpec:
+    """FAULT: the shared link degrades to 30% in a linear ramp, then recovers."""
+    return ScenarioSpec(
+        name="fault/degradation-ramp",
+        description="Gradual degradation to 30% capacity and a recovery ramp",
+        topology=single_link_topology(capacity=capacity),
+        workload=fanout_workload(num_flows),
+        scheme=scheme("NUMFabric"),
+        engine="fluid",
+        engines=("fluid", "packet"),
+        faults=fault_plan(
+            CapacityRamp(
+                "link", start=1.5e-3, end=2.2e-3,
+                from_factor=1.0, to_factor=0.3, steps=ramp_steps,
+            ),
+            CapacityRamp(
+                "link", start=3.0e-3, end=3.8e-3,
+                from_factor=0.3, to_factor=1.0, steps=ramp_steps,
+            ),
+        ),
+        sizing={"iterations": iterations, "duration": duration},
+    )
+
+
+def lossy_control_plane_spec(
+    capacity: float = 10e9,
+    num_flows: int = 6,
+    iterations: int = 240,
+    drop_probability: float = 0.3,
+    seed: int = 13,
+) -> ScenarioSpec:
+    """FAULT: xWI price updates are dropped while the link degrades and heals."""
+    return ScenarioSpec(
+        name="fault/lossy-control-plane",
+        description="Lossy price dissemination across a degradation window (xWI)",
+        topology=single_link_topology(capacity=capacity),
+        workload=fanout_workload(num_flows),
+        scheme=scheme("NUMFabric"),
+        engine="fluid",
+        seed=seed,
+        faults=fault_plan(
+            LinkDegrade("link", at=1.2e-3, factor=0.5),
+            LinkRestore("link", at=2.1e-3),
+            ControlPlaneFault(start=0.9e-3, end=2.4e-3, drop_probability=drop_probability),
+        ),
+        sizing={"iterations": iterations},
+    )
+
+
 # -- the registry -----------------------------------------------------------
 
 
@@ -695,4 +866,47 @@ register_scenario(
     "trace/replay",
     lambda scale="toy": trace_replay_spec(),
     tags=("new", "trace"),
+)
+register_scenario(
+    "fault/midrun-link-failure",
+    lambda scale="toy": midrun_link_failure_spec(
+        **(
+            {}
+            if scale == "toy"
+            else dict(
+                num_servers=64, num_leaves=8, num_spines=4,
+                num_flows=400, iterations=600,
+            )
+        )
+    ),
+    tags=("fault", "all-engines"),
+)
+register_scenario(
+    "fault/flapping-spine",
+    lambda scale="toy": flapping_spine_spec(
+        **({} if scale == "toy" else dict(num_servers=64, num_leaves=8, num_spines=4,
+                                          num_flows=400, iterations=600))
+    ),
+    tags=("fault",),
+)
+register_scenario(
+    "fault/wireless-bottleneck",
+    lambda scale="toy": wireless_bottleneck_spec(
+        **({} if scale == "toy" else dict(num_flows=200, iterations=600))
+    ),
+    tags=("fault", "stochastic"),
+)
+register_scenario(
+    "fault/degradation-ramp",
+    lambda scale="toy": degradation_ramp_spec(
+        **({} if scale == "toy" else dict(num_flows=12, iterations=600, duration=0.02))
+    ),
+    tags=("fault",),
+)
+register_scenario(
+    "fault/lossy-control-plane",
+    lambda scale="toy": lossy_control_plane_spec(
+        **({} if scale == "toy" else dict(num_flows=40, iterations=600))
+    ),
+    tags=("fault", "control-plane"),
 )

@@ -1,0 +1,459 @@
+"""Declarative fault plans: typed fault events injected by ``run_scenario``.
+
+A :class:`FaultPlan` is an ordered collection of typed :data:`FaultEvent`
+records attached to a :class:`~repro.scenarios.spec.ScenarioSpec`.  The
+runner compiles the plan once per run into a *capacity timeline* -- a
+time-sorted list of ``(time, link, absolute_capacity)`` changes -- and
+injects it into whichever engine executes the scenario:
+
+* **fluid**: changes apply at iteration boundaries
+  (``FluidNetwork.set_capacity``), converted to step indices with the
+  simulator's ``seconds_per_iteration``;
+* **flow**: changes apply at ``FlowLevelSimulation`` step boundaries and
+  invalidate the rate policy so the next step re-solves;
+* **packet**: changes become simulator events that call
+  ``OutputPort.set_rate`` on the port realizing the fluid link.
+
+Event times are **seconds from the start of the run**; capacities are
+expressed as a fraction of the link's nominal (run-start) capacity unless
+an event carries an absolute ``capacity``.  Stochastic events (the
+wireless-like :class:`FluctuatingCapacity` process) are seeded from the
+scenario seed plus the link id, so a rerun with the same seed produces a
+bit-identical timeline.
+
+Control-plane faults (:class:`ControlPlaneFault`) model lossy/delayed
+price dissemination: during the window each link's price update is dropped
+with the given probability, i.e. the price reverts to its pre-step value.
+They only have meaning for fluid schemes that expose per-link ``prices``
+(xWI, DGD); the other engines ignore them.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+LinkId = Hashable
+
+#: Numerical slack when snapping event times to step boundaries.
+_TIME_EPSILON = 1e-12
+
+
+def _mix_seed(*parts) -> int:
+    """Deterministic seed derivation (``hash()`` is randomized for strings)."""
+    return zlib.crc32(repr(parts).encode()) & 0xFFFFFFFF
+
+
+# -- typed fault events ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LinkFail:
+    """Hard failure: the link's capacity drops to zero at ``at``."""
+
+    link: LinkId
+    at: float
+
+
+@dataclass(frozen=True)
+class LinkRestore:
+    """Restore a link at ``at`` to ``capacity`` (nominal when omitted)."""
+
+    link: LinkId
+    at: float
+    capacity: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Partial degradation at ``at``: ``factor`` of nominal, or absolute
+    ``capacity`` (exactly one of the two must be given)."""
+
+    link: LinkId
+    at: float
+    factor: Optional[float] = None
+    capacity: Optional[float] = None
+
+    def __post_init__(self):
+        if (self.factor is None) == (self.capacity is None):
+            raise ValueError("LinkDegrade takes exactly one of factor/capacity")
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """Periodic flapping: down for ``down_fraction`` of every ``period``.
+
+    Each period starting at ``start + k * period`` begins with the link at
+    ``down_factor`` of nominal; it comes back to nominal after
+    ``period * down_fraction`` seconds.  A final restore is emitted at
+    ``end``, so the link is always healthy afterwards.
+    """
+
+    link: LinkId
+    start: float
+    end: float
+    period: float
+    down_fraction: float = 0.5
+    down_factor: float = 0.0
+
+    def __post_init__(self):
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < self.down_fraction < 1.0:
+            raise ValueError("down_fraction must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class CapacityRamp:
+    """Linear ramp from ``from_factor`` to ``to_factor`` of nominal in
+    ``steps`` equal capacity changes over ``[start, end]``."""
+
+    link: LinkId
+    start: float
+    end: float
+    from_factor: float
+    to_factor: float
+    steps: int = 8
+
+    def __post_init__(self):
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+        if self.end <= self.start:
+            raise ValueError("end must be after start")
+
+
+@dataclass(frozen=True)
+class FluctuatingCapacity:
+    """Wireless-like stochastic capacity: every ``interval`` seconds the
+    link capacity is redrawn as ``clip(gauss(mean_factor, sigma),
+    floor_factor, 1.0)`` of nominal.  Seeded from the scenario seed (or the
+    event's own ``seed``), so the process is reproducible; the link returns
+    to nominal at ``end``."""
+
+    link: LinkId
+    start: float
+    end: float
+    interval: float
+    mean_factor: float = 0.6
+    sigma: float = 0.25
+    floor_factor: float = 0.05
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.end <= self.start:
+            raise ValueError("end must be after start")
+
+
+@dataclass(frozen=True)
+class CapacityTrace:
+    """Trace-driven capacity: ``(time, factor_of_nominal)`` samples."""
+
+    link: LinkId
+    trace: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "trace", tuple((float(t), float(f)) for t, f in self.trace))
+
+
+@dataclass(frozen=True)
+class ControlPlaneFault:
+    """Lossy price dissemination during ``[start, end)``: each link's price
+    update is dropped (reverted) with ``drop_probability`` per step.  When
+    ``links`` is given only those links are affected."""
+
+    start: float
+    end: float
+    drop_probability: float
+    links: Optional[Tuple[LinkId, ...]] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        if self.links is not None:
+            object.__setattr__(self, "links", tuple(self.links))
+
+
+FaultEvent = Union[
+    LinkFail,
+    LinkRestore,
+    LinkDegrade,
+    LinkFlap,
+    CapacityRamp,
+    FluctuatingCapacity,
+    CapacityTrace,
+    ControlPlaneFault,
+]
+
+_CAPACITY_EVENTS = (
+    LinkFail,
+    LinkRestore,
+    LinkDegrade,
+    LinkFlap,
+    CapacityRamp,
+    FluctuatingCapacity,
+    CapacityTrace,
+)
+
+
+@dataclass(frozen=True)
+class CapacityChange:
+    """One compiled entry of the capacity timeline (absolute capacity)."""
+
+    time: float
+    link: LinkId
+    capacity: float
+
+
+# -- the plan ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, declarative collection of fault events."""
+
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, _CAPACITY_EVENTS + (ControlPlaneFault,)):
+                raise TypeError(f"unknown fault event {event!r}")
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def capacity_events(self) -> Tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if isinstance(e, _CAPACITY_EVENTS))
+
+    @property
+    def control_events(self) -> Tuple[ControlPlaneFault, ...]:
+        return tuple(e for e in self.events if isinstance(e, ControlPlaneFault))
+
+    @property
+    def affected_links(self) -> Tuple[LinkId, ...]:
+        """Links whose capacity the plan touches, in first-mention order."""
+        seen: Dict[LinkId, None] = {}
+        for event in self.capacity_events:
+            seen.setdefault(event.link, None)
+        return tuple(seen)
+
+    # -- compilation ---------------------------------------------------------
+
+    def capacity_timeline(
+        self, nominal: Mapping[LinkId, float], seed: int = 0
+    ) -> List[CapacityChange]:
+        """Expand every capacity event into ``(time, link, capacity)``.
+
+        ``nominal`` maps each affected link to its run-start capacity (the
+        reference for factor-of-nominal events).  The result is sorted by
+        time; equal-time changes keep event order, so a later event in the
+        plan wins when applied sequentially.
+        """
+        for link in self.affected_links:
+            if link not in nominal:
+                raise KeyError(f"fault plan references unknown link {link!r}")
+        changes: List[Tuple[float, int, LinkId, float]] = []
+        order = 0
+
+        def emit(time: float, link: LinkId, capacity: float) -> None:
+            nonlocal order
+            if time < 0:
+                raise ValueError(f"fault event time must be non-negative, got {time}")
+            changes.append((float(time), order, link, max(float(capacity), 0.0)))
+            order += 1
+
+        for index, event in enumerate(self.events):
+            if isinstance(event, LinkFail):
+                emit(event.at, event.link, 0.0)
+            elif isinstance(event, LinkRestore):
+                capacity = event.capacity
+                emit(event.at, event.link,
+                     nominal[event.link] if capacity is None else capacity)
+            elif isinstance(event, LinkDegrade):
+                capacity = (
+                    event.capacity
+                    if event.capacity is not None
+                    else nominal[event.link] * event.factor
+                )
+                emit(event.at, event.link, capacity)
+            elif isinstance(event, LinkFlap):
+                base = nominal[event.link]
+                k = 0
+                while True:
+                    down_at = event.start + k * event.period
+                    if down_at >= event.end - _TIME_EPSILON:
+                        break
+                    emit(down_at, event.link, base * event.down_factor)
+                    up_at = down_at + event.period * event.down_fraction
+                    if up_at < event.end - _TIME_EPSILON:
+                        emit(up_at, event.link, base)
+                    k += 1
+                emit(event.end, event.link, base)
+            elif isinstance(event, CapacityRamp):
+                base = nominal[event.link]
+                span = event.end - event.start
+                for k in range(event.steps + 1):
+                    frac = k / event.steps
+                    factor = event.from_factor + (event.to_factor - event.from_factor) * frac
+                    emit(event.start + span * frac, event.link, base * factor)
+            elif isinstance(event, FluctuatingCapacity):
+                base = nominal[event.link]
+                rng = random.Random(
+                    event.seed
+                    if event.seed is not None
+                    else _mix_seed(seed, "fluctuate", index, event.link)
+                )
+                k = 0
+                while True:
+                    at = event.start + k * event.interval
+                    if at >= event.end - _TIME_EPSILON:
+                        break
+                    factor = min(max(rng.gauss(event.mean_factor, event.sigma),
+                                     event.floor_factor), 1.0)
+                    emit(at, event.link, base * factor)
+                    k += 1
+                emit(event.end, event.link, base)
+            elif isinstance(event, CapacityTrace):
+                base = nominal[event.link]
+                for at, factor in event.trace:
+                    emit(at, event.link, base * factor)
+        changes.sort(key=lambda entry: (entry[0], entry[1]))
+        return [CapacityChange(time, link, capacity) for time, _, link, capacity in changes]
+
+    def control_noise(self, seed: int = 0) -> Optional["ControlPriceNoise"]:
+        """The per-run stateful price-drop process (``None`` without
+        control-plane events)."""
+        windows = self.control_events
+        if not windows:
+            return None
+        return ControlPriceNoise(windows, seed)
+
+
+def fault_plan(*events: FaultEvent) -> FaultPlan:
+    """Sugar: ``fault_plan(LinkFail(...), LinkRestore(...))``."""
+    return FaultPlan(events=tuple(events))
+
+
+# -- engine adapters ---------------------------------------------------------
+
+
+def step_of(time: float, dt: float) -> int:
+    """First step boundary at or after ``time`` for a stepper of period ``dt``."""
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    return max(int(-(-(time - _TIME_EPSILON) // dt)), 0)  # ceil with slack
+
+
+def compile_step_schedule(
+    timeline: Sequence[CapacityChange], dt: float
+) -> Dict[int, List[Tuple[LinkId, float]]]:
+    """Group a capacity timeline by the step index at which it applies.
+
+    Changes landing on the same step keep timeline order, so applying each
+    step's list sequentially preserves last-write-wins semantics.
+    """
+    schedule: Dict[int, List[Tuple[LinkId, float]]] = {}
+    for change in timeline:
+        schedule.setdefault(step_of(change.time, dt), []).append(
+            (change.link, change.capacity)
+        )
+    return schedule
+
+
+class CapacityInjector:
+    """Stateful cursor over a capacity timeline for time-stepped engines.
+
+    ``apply_until(set_capacity, time)`` applies every not-yet-applied change
+    with ``change.time <= time`` (plus slack) in timeline order and returns
+    the number applied.  Used by the flow engine, whose step clock is the
+    natural injection boundary.
+    """
+
+    def __init__(self, timeline: Sequence[CapacityChange]):
+        self._timeline = list(timeline)
+        self._next = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= len(self._timeline)
+
+    def apply_until(self, set_capacity, time: float) -> int:
+        applied = 0
+        while self._next < len(self._timeline):
+            change = self._timeline[self._next]
+            if change.time > time + _TIME_EPSILON:
+                break
+            set_capacity(change.link, change.capacity)
+            self._next += 1
+            applied += 1
+        return applied
+
+
+class ControlPriceNoise:
+    """Seeded per-step price-update dropper for fluid schemes.
+
+    Usage per iteration: ``snapshot = noise.snapshot(time, prices)`` before
+    the step, then ``noise.apply(time, prices, snapshot)`` after it; when a
+    drop fires for a link its price reverts to the pre-step value, exactly
+    as if the switch's update never reached the price table.
+    """
+
+    def __init__(self, windows: Sequence[ControlPlaneFault], seed: int):
+        self._windows = tuple(windows)
+        self._rngs = [
+            random.Random(
+                w.seed if w.seed is not None else _mix_seed(seed, "control", i)
+            )
+            for i, w in enumerate(self._windows)
+        ]
+        self.drops = 0
+
+    def _window_index(self, time: float) -> Optional[int]:
+        for i, window in enumerate(self._windows):
+            if window.start - _TIME_EPSILON <= time < window.end - _TIME_EPSILON:
+                return i
+        return None
+
+    def snapshot(self, time: float, prices: Mapping[LinkId, float]):
+        """Pre-step price snapshot, or ``None`` outside every window."""
+        if self._window_index(time) is None:
+            return None
+        return dict(prices)
+
+    def apply(
+        self,
+        time: float,
+        prices: MutableMapping[LinkId, float],
+        snapshot: Optional[Mapping[LinkId, float]],
+    ) -> int:
+        """Revert dropped price updates; returns the number of drops."""
+        if snapshot is None:
+            return 0
+        index = self._window_index(time)
+        if index is None:  # pragma: no cover - snapshot implies a window
+            return 0
+        window, rng = self._windows[index], self._rngs[index]
+        dropped = 0
+        for link in prices:
+            if window.links is not None and link not in window.links:
+                continue
+            if rng.random() < window.drop_probability and link in snapshot:
+                prices[link] = snapshot[link]
+                dropped += 1
+        self.drops += dropped
+        return dropped

@@ -13,6 +13,17 @@ Artifacts by engine:
 * ``fluid`` (static): ``final_rates`` (flow -> bits/s), ``network``,
   optionally ``timeseries`` (list of per-step rate dicts),
   ``oracle_rates`` and ``convergence`` (when measuring convergence);
+  with a fault plan additionally ``resilience`` (the
+  :func:`~repro.analysis.resilience.resilience_report` dict),
+  ``post_fault_oracle`` and -- for control-plane faults -- ``control_drops``;
+
+A spec's :class:`~repro.scenarios.faults.FaultPlan` is compiled once per
+run and injected into whichever engine executes: the fluid engine merges it
+onto the same step grid as the legacy sizing-level ``capacity_schedule``,
+the flow engine applies it at step boundaries through a
+:class:`~repro.scenarios.faults.CapacityInjector`, and the packet engine
+schedules ``OutputPort.set_rate`` events on the ports realizing the
+faulted fluid links.
 * ``fluid`` (semidynamic): ``convergence_seconds`` (one per event),
   ``events`` (the event records);
 * ``flow``: ``completions`` (:class:`CompletedFlow` list), ``arrivals``;
@@ -32,6 +43,7 @@ from repro.fluid.network import FluidFlow, FluidNetwork
 from repro.fluid.oracle import solve_num, solve_num_multipath
 from repro.fluid.rcp import RcpStarFluidSimulator
 from repro.fluid.xwi import XwiFluidSimulator
+from repro.scenarios.faults import CapacityInjector, compile_step_schedule
 from repro.scenarios.materialize import (
     ARRIVAL_WORKLOADS,
     FluidTopology,
@@ -162,7 +174,23 @@ def _run_fluid(spec: ScenarioSpec, result: ExperimentResult) -> None:
     capacity_schedule: Dict[int, List] = {}
     for at_step, link, capacity in spec.size("capacity_schedule", ()):
         capacity_schedule.setdefault(at_step, []).append((link, capacity))
+
+    # Compile the fault plan (if any) onto the same step grid as the legacy
+    # sizing-level capacity_schedule -- one injection mechanism for both.
+    plan = spec.faults
+    dt = simulator.seconds_per_iteration
+    noise = None
+    fault_steps: List[int] = []
+    if plan is not None:
+        fault_seed = spec.seed if spec.seed is not None else 0
+        timeline = plan.capacity_timeline(dict(network.capacities), fault_seed)
+        for at_step, changes in compile_step_schedule(timeline, dt).items():
+            capacity_schedule.setdefault(at_step, []).extend(changes)
+            fault_steps.append(at_step)
+        noise = plan.control_noise(fault_seed)
+
     record_timeseries = spec.size("record_timeseries", False)
+    keep_timeseries = record_timeseries or plan is not None
     timeseries: List[Dict] = []
     last_rates: Dict = {}
 
@@ -171,15 +199,45 @@ def _run_fluid(spec: ScenarioSpec, result: ExperimentResult) -> None:
             network.remove_flow(flow_id)
         for link, capacity in capacity_schedule.get(step, ()):
             network.set_capacity(link, capacity)
+        snapshot = None
+        if noise is not None:
+            prices = getattr(simulator, "prices", None)
+            if prices is not None:
+                snapshot = noise.snapshot(step * dt, prices)
         record = simulator.step()
+        if snapshot is not None:
+            noise.apply(step * dt, simulator.prices, snapshot)
         last_rates = record.rates
-        if record_timeseries:
+        if keep_timeseries:
             timeseries.append(record.rates)
 
     result.artifacts["final_rates"] = last_rates
-    if record_timeseries:
+    if keep_timeseries:
         result.artifacts["timeseries"] = timeseries
-        result.artifacts["seconds_per_iteration"] = simulator.seconds_per_iteration
+        result.artifacts["seconds_per_iteration"] = dt
+    if noise is not None:
+        result.artifacts["control_drops"] = noise.drops
+
+    if plan is not None and fault_steps and timeseries:
+        from repro.analysis.resilience import resilience_report
+
+        post_reference = (
+            solve_num_multipath(network) if network.groups else solve_num(network)
+        )
+        post_oracle = post_reference.rates
+        result.artifacts["post_fault_oracle"] = post_oracle
+        faulted = set(plan.affected_links)
+        affected = [
+            flow.flow_id for flow in network.flows if faulted.intersection(flow.path)
+        ]
+        result.artifacts["resilience"] = resilience_report(
+            timeseries,
+            fault_steps,
+            post_oracle,
+            dt,
+            affected,
+            criterion=spec.size("criterion"),
+        ).as_dict()
 
     for flow in network.flows:
         result.add_row(flow=flow.flow_id, rate_bps=last_rates.get(flow.flow_id, 0.0))
@@ -279,6 +337,12 @@ def _run_flow(spec: ScenarioSpec, result: ExperimentResult) -> None:
             spec.scheme.name, backend=spec.scheme.backend, params=spec.scheme.params
         )
     utility_for = utility_for_arrival_factory(spec.objective)
+    fault_injector = None
+    if spec.faults is not None:
+        fault_seed = spec.seed if spec.seed is not None else 0
+        fault_injector = CapacityInjector(
+            spec.faults.capacity_timeline(dict(topo.network.capacities), fault_seed)
+        )
     simulation = FlowLevelSimulation(
         topo.network,
         lambda arrival: topo.path_for(arrival.source, arrival.destination, arrival.flow_id),
@@ -286,6 +350,7 @@ def _run_flow(spec: ScenarioSpec, result: ExperimentResult) -> None:
         step_interval=spec.size("step_interval", 30e-6),
         utility_for_arrival=utility_for,
         backend=spec.size("flow_backend", "array"),
+        fault_injector=fault_injector,
     )
     completed = simulation.run(arrivals, max_time=spec.size("max_time"))
     result.artifacts["completions"] = completed
@@ -327,6 +392,37 @@ def _packet_scheme(spec: ScenarioSpec):
             f"expected one of {sorted(schemes)}"
         ) from None
     return scheme_cls(params=spec.scheme.params)
+
+
+def _schedule_packet_faults(spec: ScenarioSpec, network, resolve) -> None:
+    """Compile the spec's fault plan into timed ``OutputPort.set_rate`` events.
+
+    ``resolve`` maps a fluid link id to the packet port names realizing it
+    (fault plans are written against the fluid topology, the engines' shared
+    vocabulary).  Control-plane faults have no packet realization and are
+    ignored here.
+    """
+    plan = spec.faults
+    if plan is None:
+        return
+    fault_seed = spec.seed if spec.seed is not None else 0
+    ports = {port.name: port for port in network.ports}
+    nominal = {}
+    for link in plan.affected_links:
+        names = resolve(link)
+        if not names:
+            raise ValueError(f"fault plan link {link!r} has no packet-level port")
+        for name in names:
+            if name not in ports:
+                raise ValueError(
+                    f"fault plan link {link!r} resolved to unknown port {name!r}"
+                )
+        nominal[link] = ports[names[0]].rate_bps
+    for change in plan.capacity_timeline(nominal, fault_seed):
+        for name in resolve(change.link):
+            network.simulator.schedule_at(
+                change.time, ports[name].set_rate, change.capacity
+            )
 
 
 def _run_packet(spec: ScenarioSpec, result: ExperimentResult) -> None:
@@ -375,6 +471,9 @@ def _run_packet(spec: ScenarioSpec, result: ExperimentResult) -> None:
             # one bottleneck.
             num_flows = workload.get("num_flows", 2)
             network = single_link_network(scheme, num_flows=num_flows, link_rate=link_rate)
+            # Every single-link/dumbbell fluid link realizes as the shared
+            # bottleneck port (access links are over-provisioned by design).
+            _schedule_packet_faults(spec, network, lambda link: ["left->right"])
             for i in range(num_flows):
                 network.add_flow(
                     FlowDescriptor(
@@ -409,6 +508,7 @@ def _run_packet(spec: ScenarioSpec, result: ExperimentResult) -> None:
             pair = arrival.source % num_pairs
             return ("sender", pair), ("receiver", pair)
 
+        _schedule_packet_faults(spec, network, lambda link: ["left->right"])
         run_sized_arrivals(network, arrivals, pair_endpoints)
     elif topo_spec.kind == "leaf_spine":
         params = SimulationParameters(
@@ -421,6 +521,25 @@ def _run_packet(spec: ScenarioSpec, result: ExperimentResult) -> None:
         )
         arrivals = materialize_arrivals(spec, build_fluid_topology(spec))
         network = leaf_spine_network(scheme, params=params)
+        servers_per_leaf = params.num_servers // params.num_leaves
+
+        def leaf_spine_ports(link):
+            # Fluid leaf-spine link ids -> the packet ports built by
+            # ``leaf_spine_network`` (node names are ("server", i) etc.).
+            kind = link[0]
+            if kind == "host-up":
+                server = link[1]
+                return [f"{('server', server)}->({('leaf', server // servers_per_leaf)})"]
+            if kind == "host-down":
+                server = link[1]
+                return [f"({('leaf', server // servers_per_leaf)})->{('server', server)}"]
+            if kind == "up":
+                return [f"({('leaf', link[1])})->({('spine', link[2])})"]
+            if kind == "down":
+                return [f"({('spine', link[1])})->({('leaf', link[2])})"]
+            return []
+
+        _schedule_packet_faults(spec, network, leaf_spine_ports)
         run_sized_arrivals(
             network,
             arrivals,

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Optional, Tuple
 
+from repro.scenarios.faults import FaultPlan
+
 ENGINE_FLUID = "fluid"
 ENGINE_FLOW = "flow"
 ENGINE_PACKET = "packet"
@@ -115,6 +117,10 @@ class ScenarioSpec:
     ``sizing`` holds engine-facing knobs (iterations, duration,
     step_interval, record_timeseries, capacity_schedule, ...), kept loose on
     purpose: they size a run, they do not define the scenario.
+    ``faults`` is an optional :class:`~repro.scenarios.faults.FaultPlan`
+    the runner compiles and injects into whichever engine executes the
+    scenario (link failures, degradation, fluctuating capacity,
+    control-plane loss); fault times are seconds from run start.
     """
 
     name: str
@@ -126,6 +132,7 @@ class ScenarioSpec:
     engines: Tuple[str, ...] = ()
     seed: Optional[int] = None
     sizing: Mapping[str, Any] = field(default_factory=dict)
+    faults: Optional[FaultPlan] = None
     description: str = ""
     paper_reference: str = ""
 
@@ -141,6 +148,10 @@ class ScenarioSpec:
         object.__setattr__(self, "engines", engines)
         object.__setattr__(self, "topology", _as_spec(self.topology, TopologySpec))
         object.__setattr__(self, "workload", _as_spec(self.workload, WorkloadSpec))
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise TypeError(
+                f"faults must be a FaultPlan, got {type(self.faults).__name__}"
+            )
 
     def using(
         self,
@@ -149,10 +160,13 @@ class ScenarioSpec:
         seed: Optional[int] = None,
         scheme: Optional[SchemeSpec] = None,
         objective: Optional[ObjectiveSpec] = None,
+        faults: Optional[FaultPlan] = None,
         **sizing: Any,
     ) -> "ScenarioSpec":
         """Derive a variant spec; ``sizing`` keys merge over the originals."""
         changes: dict = {}
+        if faults is not None:
+            changes["faults"] = faults
         if engine is not None:
             if engine not in self.engines:
                 raise ValueError(

@@ -96,7 +96,25 @@ class OutputPort:
             self._start_transmission()
         return True
 
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the link rate mid-run (fault injection).
+
+        A rate of ``0`` takes the link down: queued packets stay queued and
+        nothing new serializes until the rate becomes positive again.  A
+        packet already on the wire finishes at the rate it started with
+        (the serialization event is immutable once scheduled).
+        """
+        if rate_bps < 0:
+            raise ValueError("rate_bps must be non-negative")
+        was_down = self.rate_bps <= 0.0
+        self.rate_bps = rate_bps
+        if was_down and rate_bps > 0.0 and not self._busy:
+            self._start_transmission()
+
     def _start_transmission(self) -> None:
+        if self.rate_bps <= 0.0:  # link is down: hold the queue
+            self._busy = False
+            return
         now = self.simulator.now
         packet = self.queue.dequeue(now)
         if packet is None:
@@ -122,7 +140,7 @@ class OutputPort:
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of the link capacity used over ``elapsed`` seconds."""
-        if elapsed <= 0:
+        if elapsed <= 0 or self.rate_bps <= 0:
             return 0.0
         return min(8.0 * self.bytes_transmitted / (elapsed * self.rate_bps), 1.0)
 

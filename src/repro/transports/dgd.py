@@ -56,6 +56,9 @@ class DgdPortController:
             packet.path_length += 1
 
     def _update_price(self) -> None:
+        if self.port.rate_bps <= 0.0:  # link down (fault injection): hold price
+            self._bytes_serviced = 0.0
+            return
         interval = self.params.price_update_interval
         throughput = 8.0 * self._bytes_serviced / interval
         excess = (throughput - self.port.rate_bps) / self.port.rate_bps

@@ -53,6 +53,9 @@ class RcpStarPortController:
         params = self.params
         interval = params.rate_update_interval
         capacity = self.port.rate_bps
+        if capacity <= 0.0:  # link down (fault injection): hold the fair rate
+            self._bytes_serviced = 0.0
+            return
         throughput = 8.0 * self._bytes_serviced / interval
         spare_fraction = (capacity - throughput) / capacity
         queue_in_rtt = 8.0 * self.port.queue_bytes / (capacity * params.baseline_rtt)

@@ -1,0 +1,393 @@
+"""Unit and integration tests for the declarative fault-injection subsystem."""
+
+import math
+
+import pytest
+
+from repro.core.utility import LogUtility
+from repro.scenarios.build import (
+    FlowSpec,
+    explicit_links_topology,
+    explicit_workload,
+    fanout_workload,
+    per_flow_objective,
+    single_link_topology,
+)
+from repro.scenarios.faults import (
+    CapacityInjector,
+    CapacityRamp,
+    CapacityTrace,
+    ControlPlaneFault,
+    FaultPlan,
+    FluctuatingCapacity,
+    LinkDegrade,
+    LinkFail,
+    LinkFlap,
+    LinkRestore,
+    compile_step_schedule,
+    fault_plan,
+    step_of,
+)
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+NOMINAL = {"link": 10e9, "other": 4e9}
+
+
+class TestTimelineCompilation:
+    def test_fail_restore_ordering(self):
+        plan = fault_plan(
+            LinkFail("link", at=2e-3),
+            LinkRestore("link", at=4e-3),
+        )
+        timeline = plan.capacity_timeline(NOMINAL)
+        assert [(c.time, c.link, c.capacity) for c in timeline] == [
+            (2e-3, "link", 0.0),
+            (4e-3, "link", 10e9),
+        ]
+
+    def test_restore_with_explicit_capacity(self):
+        plan = fault_plan(LinkRestore("link", at=1e-3, capacity=3e9))
+        assert plan.capacity_timeline(NOMINAL)[0].capacity == 3e9
+
+    def test_degrade_factor_vs_absolute(self):
+        by_factor = fault_plan(LinkDegrade("link", at=1e-3, factor=0.25))
+        by_capacity = fault_plan(LinkDegrade("link", at=1e-3, capacity=2.5e9))
+        assert by_factor.capacity_timeline(NOMINAL)[0].capacity == 2.5e9
+        assert by_capacity.capacity_timeline(NOMINAL)[0].capacity == 2.5e9
+
+    def test_degrade_requires_exactly_one_of_factor_capacity(self):
+        with pytest.raises(ValueError):
+            LinkDegrade("link", at=1e-3)
+        with pytest.raises(ValueError):
+            LinkDegrade("link", at=1e-3, factor=0.5, capacity=1e9)
+
+    def test_equal_time_changes_keep_event_order(self):
+        plan = fault_plan(
+            LinkDegrade("link", at=1e-3, factor=0.5),
+            LinkFail("link", at=1e-3),
+        )
+        capacities = [c.capacity for c in plan.capacity_timeline(NOMINAL)]
+        assert capacities == [5e9, 0.0]  # later event wins when applied in order
+
+    def test_flap_expansion_alternates_and_ends_healthy(self):
+        plan = fault_plan(
+            LinkFlap("link", start=1e-3, end=3e-3, period=1e-3, down_fraction=0.5)
+        )
+        timeline = plan.capacity_timeline(NOMINAL)
+        assert [c.capacity for c in timeline] == [0.0, 10e9, 0.0, 10e9, 10e9]
+        assert timeline[-1].time == 3e-3
+        assert timeline[-1].capacity == 10e9
+
+    def test_flap_down_factor(self):
+        plan = fault_plan(
+            LinkFlap("link", start=0.0, end=1e-3, period=1e-3, down_factor=0.3)
+        )
+        assert plan.capacity_timeline(NOMINAL)[0].capacity == pytest.approx(3e9)
+
+    def test_ramp_is_linear_and_inclusive(self):
+        plan = fault_plan(
+            CapacityRamp("link", start=0.0, end=4e-3, from_factor=1.0, to_factor=0.2,
+                         steps=4)
+        )
+        timeline = plan.capacity_timeline(NOMINAL)
+        assert len(timeline) == 5
+        assert timeline[0].capacity == pytest.approx(10e9)
+        assert timeline[-1].capacity == pytest.approx(2e9)
+        deltas = [
+            timeline[i + 1].capacity - timeline[i].capacity for i in range(4)
+        ]
+        assert all(d == pytest.approx(deltas[0]) for d in deltas)
+
+    def test_trace_driven(self):
+        plan = fault_plan(
+            CapacityTrace("link", trace=((0.0, 1.0), (1e-3, 0.5), (2e-3, 0.9)))
+        )
+        capacities = [c.capacity for c in plan.capacity_timeline(NOMINAL)]
+        assert capacities == [pytest.approx(10e9), pytest.approx(5e9), pytest.approx(9e9)]
+
+    def test_fluctuating_is_seed_deterministic(self):
+        plan = fault_plan(
+            FluctuatingCapacity("link", start=0.0, end=5e-3, interval=1e-3)
+        )
+        first = plan.capacity_timeline(NOMINAL, seed=7)
+        again = plan.capacity_timeline(NOMINAL, seed=7)
+        different = plan.capacity_timeline(NOMINAL, seed=8)
+        assert first == again
+        assert first != different
+        for change in first:
+            assert 0.05 * 10e9 <= change.capacity <= 10e9
+        assert first[-1].capacity == 10e9  # returns to nominal at end
+
+    def test_fluctuating_event_seed_overrides_scenario_seed(self):
+        plan = fault_plan(
+            FluctuatingCapacity("link", start=0.0, end=5e-3, interval=1e-3, seed=99)
+        )
+        assert plan.capacity_timeline(NOMINAL, seed=1) == plan.capacity_timeline(
+            NOMINAL, seed=2
+        )
+
+    def test_unknown_link_raises(self):
+        plan = fault_plan(LinkFail("no-such-link", at=1e-3))
+        with pytest.raises(KeyError):
+            plan.capacity_timeline(NOMINAL)
+
+    def test_negative_time_raises(self):
+        plan = fault_plan(LinkFail("link", at=-1e-3))
+        with pytest.raises(ValueError):
+            plan.capacity_timeline(NOMINAL)
+
+    def test_negative_capacity_clamped_to_zero(self):
+        plan = fault_plan(LinkDegrade("link", at=1e-3, capacity=-5.0))
+        assert plan.capacity_timeline(NOMINAL)[0].capacity == 0.0
+
+    def test_affected_links_first_mention_order(self):
+        plan = fault_plan(
+            LinkFail("other", at=1e-3),
+            LinkFail("link", at=2e-3),
+            LinkRestore("other", at=3e-3),
+        )
+        assert plan.affected_links == ("other", "link")
+        # Control-plane events never touch capacities.
+        with_control = fault_plan(
+            ControlPlaneFault(start=0.0, end=1e-3, drop_probability=0.5),
+            LinkFail("link", at=1e-3),
+        )
+        assert with_control.affected_links == ("link",)
+
+    def test_rejects_unknown_event_type(self):
+        with pytest.raises(TypeError):
+            FaultPlan(events=("not-an-event",))
+
+
+class TestStepGrid:
+    def test_step_of_snaps_to_boundaries(self):
+        dt = 30e-6
+        assert step_of(0.0, dt) == 0
+        assert step_of(30e-6, dt) == 1  # exactly on the boundary
+        assert step_of(31e-6, dt) == 2  # strictly after -> next boundary
+        assert step_of(1.8e-3, dt) == 60
+
+    def test_step_of_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            step_of(1.0, 0.0)
+
+    def test_compile_step_schedule_groups_and_orders(self):
+        plan = fault_plan(
+            LinkFail("link", at=1e-3),
+            LinkDegrade("other", at=1e-3, factor=0.5),
+            LinkRestore("link", at=2e-3),
+        )
+        schedule = compile_step_schedule(plan.capacity_timeline(NOMINAL), dt=1e-3)
+        assert sorted(schedule) == [1, 2]
+        assert schedule[1] == [("link", 0.0), ("other", 2e9)]
+        assert schedule[2] == [("link", 10e9)]
+
+
+class TestCapacityInjector:
+    def test_cursor_applies_in_order_and_once(self):
+        plan = fault_plan(
+            LinkFail("link", at=1e-3),
+            LinkRestore("link", at=2e-3),
+        )
+        injector = CapacityInjector(plan.capacity_timeline(NOMINAL))
+        applied = []
+        assert injector.apply_until(lambda l, c: applied.append((l, c)), 0.5e-3) == 0
+        assert injector.apply_until(lambda l, c: applied.append((l, c)), 1.5e-3) == 1
+        assert applied == [("link", 0.0)]
+        assert not injector.exhausted
+        assert injector.apply_until(lambda l, c: applied.append((l, c)), 10.0) == 1
+        assert applied == [("link", 0.0), ("link", 10e9)]
+        assert injector.exhausted
+        # Idempotent once drained.
+        assert injector.apply_until(lambda l, c: applied.append((l, c)), 20.0) == 0
+
+
+class TestControlPriceNoise:
+    def window(self, p, links=None):
+        return fault_plan(
+            ControlPlaneFault(start=1e-3, end=2e-3, drop_probability=p, links=links)
+        ).control_noise(seed=3)
+
+    def test_no_control_events_means_no_noise(self):
+        assert fault_plan(LinkFail("link", at=1e-3)).control_noise() is None
+
+    def test_snapshot_none_outside_window(self):
+        noise = self.window(1.0)
+        assert noise.snapshot(0.5e-3, {"link": 1.0}) is None
+        assert noise.snapshot(2.5e-3, {"link": 1.0}) is None
+        assert noise.snapshot(1.5e-3, {"link": 1.0}) == {"link": 1.0}
+
+    def test_probability_one_reverts_every_price(self):
+        noise = self.window(1.0)
+        prices = {"link": 1.0, "other": 2.0}
+        snapshot = noise.snapshot(1.5e-3, prices)
+        prices["link"] = 5.0
+        prices["other"] = 6.0
+        dropped = noise.apply(1.5e-3, prices, snapshot)
+        assert dropped == 2
+        assert prices == {"link": 1.0, "other": 2.0}
+        assert noise.drops == 2
+
+    def test_probability_zero_never_reverts(self):
+        noise = self.window(0.0)
+        prices = {"link": 1.0}
+        snapshot = noise.snapshot(1.5e-3, prices)
+        prices["link"] = 5.0
+        assert noise.apply(1.5e-3, prices, snapshot) == 0
+        assert prices["link"] == 5.0
+
+    def test_restricted_links(self):
+        noise = self.window(1.0, links=("link",))
+        prices = {"link": 1.0, "other": 2.0}
+        snapshot = noise.snapshot(1.5e-3, prices)
+        prices["link"] = 5.0
+        prices["other"] = 6.0
+        noise.apply(1.5e-3, prices, snapshot)
+        assert prices == {"link": 1.0, "other": 6.0}
+
+    def test_apply_outside_window_is_noop(self):
+        noise = self.window(1.0)
+        prices = {"link": 5.0}
+        assert noise.apply(1.5e-3, prices, None) == 0
+        assert prices["link"] == 5.0
+
+    def test_drop_probability_validated(self):
+        with pytest.raises(ValueError):
+            ControlPlaneFault(start=0.0, end=1e-3, drop_probability=1.5)
+
+
+class TestSpecWiring:
+    def base_spec(self, **kwargs):
+        return ScenarioSpec(
+            name="unit/faults",
+            topology=single_link_topology(10e9),
+            workload=fanout_workload(3),
+            sizing={"iterations": 40},
+            **kwargs,
+        )
+
+    def test_spec_accepts_fault_plan(self):
+        plan = fault_plan(LinkFail("link", at=1e-3))
+        assert self.base_spec(faults=plan).faults is plan
+
+    def test_spec_rejects_non_plan(self):
+        with pytest.raises(TypeError):
+            self.base_spec(faults=[LinkFail("link", at=1e-3)])
+
+    def test_using_attaches_plan_to_variant(self):
+        spec = self.base_spec()
+        plan = fault_plan(LinkFail("link", at=1e-3))
+        variant = spec.using(faults=plan)
+        assert variant.faults is plan
+        assert spec.faults is None
+
+
+class TestFluidInjection:
+    def fail_restore_spec(self):
+        """Two flows on an explicit two-link topology; one link fails."""
+        return ScenarioSpec(
+            name="unit/fluid-fault",
+            topology=explicit_links_topology({"healthy": 10e9, "victim": 10e9}),
+            workload=explicit_workload(
+                [
+                    FlowSpec("safe", ("healthy",), LogUtility()),
+                    FlowSpec("hit", ("victim",), LogUtility()),
+                ]
+            ),
+            objective=per_flow_objective(),
+            seed=5,
+            sizing={"iterations": 300},
+            faults=fault_plan(
+                LinkFail("victim", at=0.9e-3),       # step 30 of 300
+                LinkRestore("victim", at=1.8e-3),    # step 60
+            ),
+        )
+
+    def test_fluid_fault_run_produces_resilience_artifacts(self):
+        result = run_scenario(self.fail_restore_spec())
+        assert "resilience" in result.artifacts
+        assert "post_fault_oracle" in result.artifacts
+        report = result.artifacts["resilience"]
+        assert math.isfinite(report["reconvergence_iterations"])
+        assert report["affected_flow_count"] == 1
+        # During the outage the victim flow's rate visibly dips ...
+        timeseries = result.artifacts["timeseries"]
+        outage = [rates["hit"] for rates in timeseries[35:55]]
+        assert max(outage) < 1e9
+        # ... and after restoration it recovers against the post-fault Oracle.
+        final = result.artifacts["final_rates"]
+        assert final["hit"] == pytest.approx(
+            result.artifacts["post_fault_oracle"]["hit"], rel=0.1
+        )
+        assert final["safe"] > 1e9
+
+    def test_fluid_fault_rerun_is_bit_identical(self):
+        first = run_scenario(self.fail_restore_spec())
+        second = run_scenario(self.fail_restore_spec())
+        assert first.rows == second.rows
+        assert first.artifacts["resilience"] == second.artifacts["resilience"]
+
+    def test_control_plane_drops_are_counted(self):
+        spec = self.fail_restore_spec()
+        spec = spec.using(
+            faults=fault_plan(
+                LinkDegrade("victim", at=0.9e-3, factor=0.5),
+                LinkRestore("victim", at=1.8e-3),
+                ControlPlaneFault(start=0.9e-3, end=1.8e-3, drop_probability=1.0),
+            )
+        )
+        result = run_scenario(spec)
+        # 30 steps inside the window x 2 links, every update dropped.
+        assert result.artifacts["control_drops"] == 60
+
+
+class TestFlowInjection:
+    def test_link_failure_stalls_flow_until_restore(self):
+        """A mid-transfer outage delays completion by about its duration."""
+        from repro.scenarios.build import poisson_workload
+
+        base = ScenarioSpec(
+            name="unit/flow-fault",
+            topology=single_link_topology(10e9),
+            workload=poisson_workload(num_flows=4, load=0.1, num_servers=2, seed=2),
+            engine="flow",
+            seed=2,
+            sizing={"max_time": 1.0},
+        )
+        healthy = run_scenario(base)
+        # The largest flow spans many 30 us steps, so a mid-transfer outage
+        # is guaranteed to hit it (tiny flows can finish inside one step,
+        # before the next injection boundary).
+        victim = max(healthy.rows, key=lambda row: row["size_bytes"])
+        outage = 1e-3
+        faulted = run_scenario(
+            base.using(
+                faults=fault_plan(
+                    LinkFail("link", at=victim["start_time"] + 1e-5),
+                    LinkRestore("link", at=victim["start_time"] + 1e-5 + outage),
+                )
+            )
+        )
+        assert len(faulted.rows) == len(healthy.rows)  # everything still completes
+        faulted_victim = next(
+            row for row in faulted.rows if row["flow"] == victim["flow"]
+        )
+        # The victim was stalled by about the outage duration.
+        assert faulted_victim["finish_time"] > victim["finish_time"] + 0.9 * outage
+
+    def test_flow_fault_rerun_is_bit_identical(self):
+        from repro.scenarios.build import poisson_workload
+
+        spec = ScenarioSpec(
+            name="unit/flow-fault-det",
+            topology=single_link_topology(10e9),
+            workload=poisson_workload(num_flows=6, load=0.3, num_servers=2, seed=4),
+            engine="flow",
+            seed=4,
+            sizing={"max_time": 1.0},
+            faults=fault_plan(
+                FluctuatingCapacity("link", start=0.0, end=2e-3, interval=2e-4)
+            ),
+        )
+        assert run_scenario(spec).rows == run_scenario(spec).rows
