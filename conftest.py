@@ -29,3 +29,9 @@ def pytest_configure(config):
         "fault_smoke: every fault-injection scenario at toy scale on all of "
         'its engines (deselect with -m "not fault_smoke")',
     )
+    config.addinivalue_line(
+        "markers",
+        "sweep_smoke: end-to-end sweep-fabric fault matrix -- worker crash, "
+        "timeout, kill -9 resume, sharded-vs-serial parity (deselect with "
+        '-m "not sweep_smoke")',
+    )

@@ -1,15 +1,25 @@
-"""Command-line front end for the scenario registry.
+"""Command-line front end for the scenario registry and sweep fabric.
 
 Usage::
 
     python -m repro list [--tag TAG]
     python -m repro run <scenario> [--engine ENGINE] [--seed SEED]
                         [--scale {toy,paper}] [--quiet]
+    python -m repro sweep '<scenario> axis=values ...' [--engine ENGINE]
+                          [--scale {toy,paper}] [--serial] [--workers N]
+                          [--timeout SECONDS] [--retries N]
+                          [--cache-dir DIR | --no-cache] [--rows N] [--quiet]
 
 ``list`` prints every registered scenario with its supported engines;
 ``run`` executes one through :func:`repro.scenarios.run_scenario` and
-prints the resulting table.  Examples, benchmarks and the smoke suite
-drive the same registry, so anything listed here is exactly what they run.
+prints the resulting table; ``sweep`` expands a grid expression such as
+``'fig5/websearch load=0.3:0.9:0.1 scheme=numfabric,dctcp seed=0..9'``
+into cells and executes them through the fault-tolerant sweep fabric
+(:mod:`repro.sweep`), resuming from the content-addressed cache.
+
+Both ``run`` and ``sweep`` stop gracefully on the first SIGINT/SIGTERM
+(flushing completed cells and printing a resume hint) and force-exit on
+the second.
 """
 
 from __future__ import annotations
@@ -42,13 +52,19 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.sweep.signals import GracefulInterrupt, SweepInterrupted
+
     try:
         spec = get_scenario(args.scenario, scale=args.scale)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
     try:
-        result = run_scenario(spec, engine=args.engine, seed=args.seed)
+        with GracefulInterrupt(on_first="raise"):
+            result = run_scenario(spec, engine=args.engine, seed=args.seed)
+    except SweepInterrupted:
+        print("run interrupted; no result computed.", file=sys.stderr)
+        return GracefulInterrupt.EXIT_CODE
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -61,6 +77,79 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(result)
         print(f"\n(engine={result.artifacts['engine']}, rows={len(result.rows)})")
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import (
+        GracefulInterrupt,
+        ResultCache,
+        RetryPolicy,
+        expand_grid,
+        parse_sweep,
+        run_sweep,
+    )
+
+    expression = " ".join(args.expression)
+    try:
+        grid = parse_sweep(expression, scale=args.scale, engine=args.engine)
+        tasks = expand_grid(grid)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    mode = "serial" if args.serial else "sharded"
+    axis_summary = " ".join(f"{key}[{len(values)}]" for key, values in grid.axes)
+    hint = (
+        f"Completed cells are cached under {cache.root}/; "
+        "rerun the same command to resume."
+        if cache is not None
+        else ""
+    )
+    progress = (lambda message: None) if args.quiet else (
+        lambda message: print(f"  {message}", flush=True)
+    )
+    with GracefulInterrupt(on_first="flag", hint=hint) as interrupt:
+        # Printed (and flushed) only once the signal handler is live, so
+        # anything scripting this CLI can treat the header as "safe to
+        # interrupt gracefully from here on".
+        print(
+            f"sweep: {len(tasks)} cells over {grid.scenario} "
+            f"({axis_summary or 'no axes'}; mode={mode})",
+            flush=True,
+        )
+        report = run_sweep(
+            tasks,
+            mode=mode,
+            cache=cache,
+            workers=args.workers,
+            timeout=args.timeout,
+            retry=RetryPolicy(max_attempts=args.retries),
+            interrupt=interrupt,
+            progress=progress,
+        )
+    aggregate = report.aggregate(
+        experiment_id=f"sweep/{grid.scenario}", title=f"sweep over {grid.scenario}"
+    )
+    shown = aggregate.rows if args.rows <= 0 else aggregate.rows[: args.rows]
+    if args.quiet:
+        print(f"[{aggregate.experiment_id}] {_stats_line(report.stats)}")
+    else:
+        print(format_table(shown))
+        if len(shown) < len(aggregate.rows):
+            print(f"... ({len(aggregate.rows) - len(shown)} more rows; use --rows 0 for all)")
+        print(f"\n{_stats_line(report.stats)}")
+    if interrupt.requested:
+        if hint:
+            print(hint, file=sys.stderr)
+        return GracefulInterrupt.EXIT_CODE
+    if any(failure.kind != "cancelled" for failure in report.failures):
+        return 1
+    return 0
+
+
+def _stats_line(stats: dict) -> str:
+    return ", ".join(f"{key}={value}" for key, value in sorted(stats.items()))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,6 +174,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="print a one-line summary instead of the table"
     )
     run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="expand a grid expression and run it through the sweep fabric"
+    )
+    sweep_parser.add_argument(
+        "expression",
+        nargs="+",
+        help="sweep expression: '<scenario> axis=values ...' "
+        "(e.g. 'fig5/websearch load=0.3:0.9:0.1 scheme=numfabric,dctcp seed=0..9')",
+    )
+    sweep_parser.add_argument("--engine", help="engine for every cell (fluid/flow/packet)")
+    sweep_parser.add_argument(
+        "--scale", choices=("toy", "paper"), default=None, help="problem size (default: toy)"
+    )
+    sweep_parser.add_argument(
+        "--serial",
+        action="store_true",
+        help="run cells in-process (the bit-identical parity reference)",
+    )
+    sweep_parser.add_argument("--workers", type=int, help="worker process count")
+    sweep_parser.add_argument(
+        "--timeout", type=float, help="per-cell wall-clock timeout in seconds"
+    )
+    sweep_parser.add_argument(
+        "--retries", type=int, default=3, help="attempts per cell before quarantine (default: 3)"
+    )
+    sweep_parser.add_argument(
+        "--cache-dir",
+        default=".sweep-cache",
+        help="content-addressed result cache directory (default: .sweep-cache)",
+    )
+    sweep_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache entirely"
+    )
+    sweep_parser.add_argument(
+        "--rows", type=int, default=40, help="aggregate rows to print (0 = all; default: 40)"
+    )
+    sweep_parser.add_argument(
+        "--quiet", action="store_true", help="print a one-line summary instead of the table"
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
     return parser
 
 

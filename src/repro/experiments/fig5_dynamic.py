@@ -7,21 +7,22 @@ NUM rates instantaneously.  Deviations are binned by flow size in BDPs and
 summarized with box statistics, as in the paper.
 
 The harness is a thin layer over the declarative scenario subsystem: one
-:func:`~repro.scenarios.catalog.deviation_spec` per scheme, executed by
-:func:`~repro.scenarios.run_scenario` on the flow-level engine, with the
-BDP binning as post-processing.
+:func:`~repro.scenarios.catalog.deviation_spec` per scheme, executed
+through the sweep fabric (:func:`repro.sweep.run_sweep`) -- serially by
+default, sharded over worker processes with ``mode="sharded"`` -- with
+the BDP binning as post-processing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.analysis.deviation import DeviationBin, bin_by_bdp, normalized_deviation
 from repro.core.config import SimulationParameters
 from repro.results import ExperimentResult
 from repro.scenarios.catalog import deviation_spec
-from repro.scenarios.runner import run_scenario
+from repro.sweep import run_sweep, tasks_from_specs
 
 
 @dataclass
@@ -40,15 +41,8 @@ class DeviationSettings:
         return cls(num_servers=128, num_leaves=8, num_spines=4, load=0.6, num_flows=10_000)
 
 
-def _run_one_scheme(
-    scheme: str,
-    workload: str,
-    settings: DeviationSettings,
-    backend: str = "vectorized",
-    flow_backend: str = "array",
-) -> Dict[int, float]:
-    """Run the workload under one scheme; return per-flow average rates."""
-    spec = deviation_spec(
+def _deviation_spec(scheme, workload, settings, backend, flow_backend):
+    return deviation_spec(
         scheme_name=scheme,
         workload=workload,
         num_servers=settings.num_servers,
@@ -60,8 +54,6 @@ def _run_one_scheme(
         backend=backend,
         flow_backend=flow_backend,
     )
-    result = run_scenario(spec)
-    return {flow.flow_id: flow.average_rate for flow in result.artifacts["completions"]}
 
 
 def run_deviation_experiment(
@@ -70,6 +62,9 @@ def run_deviation_experiment(
     schemes: Optional[List[str]] = None,
     backend: str = "vectorized",
     flow_backend: str = "array",
+    mode: str = "serial",
+    cache=None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 5(a) (web search) or Fig. 5(b) (enterprise).
 
@@ -80,6 +75,13 @@ def run_deviation_experiment(
     (``flow_backend="dict"`` is its reference twin).  Together with the
     warm-started vectorized Oracle this runs ``paper_scale()``'s 10k-flow
     workloads end to end in well under a minute.
+
+    All cells go through the sweep fabric: ``mode="serial"`` (default)
+    runs in-process and escalates any failure; ``mode="sharded"`` fans
+    out over ``workers`` processes and degrades failed *scheme* cells to
+    structured failure rows (the Oracle cell is the reference every other
+    cell is normalized by, so its failure always escalates).  ``cache``
+    optionally points at a :class:`repro.sweep.ResultCache` directory.
     """
     settings = settings or DeviationSettings()
     schemes = schemes or ["NUMFabric", "DGD", "RCP*"]
@@ -92,19 +94,16 @@ def run_deviation_experiment(
 
     # Every scheme replays the identical seeded arrival sequence; the sizes
     # for BDP binning come from the Oracle run's materialized arrivals.
-    oracle_spec = deviation_spec(
-        scheme_name="Oracle",
-        workload=workload,
-        num_servers=settings.num_servers,
-        num_leaves=settings.num_leaves,
-        num_spines=settings.num_spines,
-        load=settings.load,
-        num_flows=settings.num_flows,
-        seed=settings.seed,
-        backend=backend,
-        flow_backend=flow_backend,
-    )
-    oracle_run = run_scenario(oracle_spec)
+    specs = [
+        _deviation_spec(scheme, workload, settings, backend, flow_backend)
+        for scheme in ["Oracle"] + schemes
+    ]
+    tasks = tasks_from_specs(specs, axes=[{"scheme": s} for s in ["Oracle"] + schemes])
+    report = run_sweep(tasks, mode=mode, cache=cache, workers=workers)
+    if mode == "serial" or report.results[0] is None:
+        report.raise_on_failure()
+
+    oracle_run = report.results[0]
     ideal_rates = {
         flow.flow_id: flow.average_rate for flow in oracle_run.artifacts["completions"]
     }
@@ -118,10 +117,17 @@ def run_deviation_experiment(
         title=f"Normalized deviation from ideal rates ({workload} workload)",
         paper_reference=reference,
     )
-    for scheme in schemes:
-        achieved = _run_one_scheme(
-            scheme, workload, settings, backend=backend, flow_backend=flow_backend
-        )
+    failures_by_index = {failure.index: failure for failure in report.failures}
+    for offset, scheme in enumerate(schemes):
+        scheme_run = report.results[offset + 1]
+        if scheme_run is None:  # sharded degradation: keep the other schemes
+            failure = failures_by_index[offset + 1]
+            result.add_row(scheme=scheme, **failure.as_row())
+            continue
+        achieved = {
+            flow.flow_id: flow.average_rate
+            for flow in scheme_run.artifacts["completions"]
+        }
         deviations = {
             flow_id: normalized_deviation(achieved[flow_id], ideal)
             for flow_id, ideal in ideal_rates.items()

@@ -8,7 +8,10 @@
 
 Every sweep point is one scenario spec -- the star-topology convergence
 scenario on the fluid engine for (b)/(c), the packet-level single-link
-scenario for (a) -- run through :func:`~repro.scenarios.run_scenario`.
+scenario for (a).  (b) and (c) execute their cells through the sweep
+fabric (:func:`repro.sweep.run_sweep`; ``mode="sharded"`` fans them out
+over worker processes); (a) inspects the live packet network, which
+cannot cross a process boundary, so it always runs in-process.
 """
 
 from __future__ import annotations
@@ -19,41 +22,56 @@ from repro.core.config import NumFabricParameters
 from repro.results import ExperimentResult
 from repro.scenarios.catalog import delay_slack_spec, star_convergence_spec
 from repro.scenarios.runner import run_scenario
+from repro.sweep import run_sweep, tasks_from_specs
 
 
-def _convergence_time_fluid(
-    alpha: float,
-    params: NumFabricParameters,
-    max_iterations: int = 400,
-    backend: str = "vectorized",
-) -> Optional[float]:
-    """Convergence time (seconds) of fluid xWI on the Fig. 6 star network.
+def _convergence_sweep(
+    points: List[tuple],
+    max_iterations: int,
+    backend: str,
+    mode: str,
+    cache,
+    workers: Optional[int],
+) -> List[Optional[float]]:
+    """Convergence times (seconds) of fluid xWI on the Fig. 6 star network.
 
+    ``points`` is a list of ``(alpha, params)`` pairs; one sweep cell each.
     The NumPy fluid backend is the default -- same convergence results (the
     backends agree to ~1e-12), much faster sweeps at larger flow counts;
     ``backend="scalar"`` runs the reference implementation instead.
     """
-    spec = star_convergence_spec(
-        alpha=alpha, params=params, max_iterations=max_iterations, backend=backend
-    )
-    run = run_scenario(spec)
-    return run.artifacts["convergence"]["seconds"]
+    specs = [
+        star_convergence_spec(
+            alpha=alpha, params=params, max_iterations=max_iterations, backend=backend
+        )
+        for alpha, params in points
+    ]
+    tasks = tasks_from_specs(specs, axes=[{"alpha": alpha} for alpha, _ in points])
+    report = run_sweep(tasks, mode=mode, cache=cache, workers=workers)
+    report.raise_on_failure()
+    return [run.artifacts["convergence"]["seconds"] for run in report.results]
 
 
 def run_price_interval_sensitivity(
     intervals_us: Optional[List[float]] = None,
     backend: str = "vectorized",
+    mode: str = "serial",
+    cache=None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 6(b): convergence time vs price-update interval."""
     intervals_us = intervals_us or [30, 48, 64, 96, 128]
+    points = [
+        (1.0, NumFabricParameters(price_update_interval=interval_us * 1e-6))
+        for interval_us in intervals_us
+    ]
+    times = _convergence_sweep(points, 400, backend, mode, cache, workers)
     result = ExperimentResult(
         experiment_id="fig6b",
         title="Convergence time vs price update interval",
         paper_reference="Figure 6(b)",
     )
-    for interval_us in intervals_us:
-        params = NumFabricParameters(price_update_interval=interval_us * 1e-6)
-        time = _convergence_time_fluid(1.0, params, backend=backend)
+    for interval_us, time in zip(intervals_us, times):
         result.add_row(
             price_update_interval_us=interval_us,
             convergence_time_ms=None if time is None else time * 1e3,
@@ -68,6 +86,9 @@ def run_price_interval_sensitivity(
 def run_alpha_sensitivity(
     alphas: Optional[List[float]] = None,
     backend: str = "vectorized",
+    mode: str = "serial",
+    cache=None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 6(c): convergence time vs alpha, at 1x and 2x slowdown.
 
@@ -79,16 +100,19 @@ def run_alpha_sensitivity(
     EXPERIMENTS.md.
     """
     alphas = alphas or [0.5, 1.0, 2.0, 3.0]
+    base = NumFabricParameters()
+    slowed = base.slowed_down(2.0)
+    # One sweep over the full (alpha, slowdown) grid: 1x cells then 2x cells.
+    points = [(alpha, base) for alpha in alphas] + [(alpha, slowed) for alpha in alphas]
+    times = _convergence_sweep(points, 400, backend, mode, cache, workers)
     result = ExperimentResult(
         experiment_id="fig6c",
         title="Convergence time vs alpha (1x and 2x slowed control loop)",
         paper_reference="Figure 6(c)",
     )
-    for alpha in alphas:
-        base = NumFabricParameters()
-        slowed = base.slowed_down(2.0)
-        time_fast = _convergence_time_fluid(alpha, base, backend=backend)
-        time_slow = _convergence_time_fluid(alpha, slowed, backend=backend)
+    for offset, alpha in enumerate(alphas):
+        time_fast = times[offset]
+        time_slow = times[offset + len(alphas)]
         result.add_row(
             alpha=alpha,
             convergence_time_1x_ms=None if time_fast is None else time_fast * 1e3,
@@ -113,6 +137,10 @@ def run_delay_slack_sensitivity(
     packet engine on a scaled-down single-bottleneck scenario and reports
     the time until all flows are within 10% of their fair share, along with
     the bottleneck queue depth (the trade-off the paper describes).
+
+    Unlike (b)/(c) this harness post-processes the *live* packet network
+    (rate monitors, port queues), which cannot cross a process boundary,
+    so it always runs in-process rather than through the sweep fabric.
     """
     delay_slacks_us = delay_slacks_us or [3, 6, 12, 24]
     result = ExperimentResult(

@@ -4,8 +4,10 @@ For each objective the harness solves a small canonical scenario with the
 corresponding utility functions and reports the resulting allocation next to
 the analytically expected one, demonstrating that the utility encodes the
 intended policy.  Every row is one explicit-workload scenario spec solved
-by the Oracle through :func:`~repro.scenarios.run_scenario` (the runner
-picks the multipath solver automatically when groups are present).
+by the Oracle (the runner picks the multipath solver automatically when
+groups are present); all five specs run as one sweep through
+:func:`repro.sweep.run_sweep` -- serially by default, over worker
+processes with ``mode="sharded"``.
 """
 
 from __future__ import annotations
@@ -28,13 +30,13 @@ from repro.scenarios.build import (
     per_flow_objective,
     single_link_topology,
 )
-from repro.scenarios.runner import run_scenario
 from repro.scenarios.spec import ScenarioSpec, TopologySpec
+from repro.sweep import run_sweep, tasks_from_specs
 
 
-def _solve(name: str, topology: TopologySpec, flows, groups=()) -> dict:
-    """Solve one canonical explicit scenario with the Oracle; return rates."""
-    spec = ScenarioSpec(
+def _table1_spec(name: str, topology: TopologySpec, flows, groups=()) -> ScenarioSpec:
+    """One canonical explicit scenario, solved by the Oracle."""
+    return ScenarioSpec(
         name=f"table1/{name}",
         description=f"Table 1 canonical scenario: {name}",
         paper_reference="Table 1",
@@ -44,23 +46,74 @@ def _solve(name: str, topology: TopologySpec, flows, groups=()) -> dict:
         objective=per_flow_objective(),
         engine="fluid",
     )
-    return run_scenario(spec).artifacts["final_rates"]
 
 
-def run_table1_allocations(capacity: float = 10e9) -> ExperimentResult:
-    """Solve one canonical scenario per Table 1 row and report the allocation."""
+def run_table1_allocations(
+    capacity: float = 10e9,
+    mode: str = "serial",
+    cache=None,
+    workers=None,
+) -> ExperimentResult:
+    """Solve one canonical scenario per Table 1 row and report the allocation.
+
+    Every row is a reference cell (there is nothing meaningful to degrade
+    to), so a failed cell escalates in either mode.
+    """
     result = ExperimentResult(
         experiment_id="table1",
         title="Allocation objectives expressed as utility functions",
         paper_reference="Table 1",
     )
 
-    # Row 1: alpha-fairness (alpha = 1, proportional fairness) -- equal split.
-    rates = _solve(
-        "alpha-fairness",
-        single_link_topology(capacity),
-        [FlowSpec(i, ("link",), AlphaFairUtility(alpha=1.0)) for i in range(4)],
+    specs = [
+        _table1_spec(
+            "alpha-fairness",
+            single_link_topology(capacity),
+            [FlowSpec(i, ("link",), AlphaFairUtility(alpha=1.0)) for i in range(4)],
+        ),
+        _table1_spec(
+            "weighted-alpha-fairness",
+            single_link_topology(capacity),
+            [
+                FlowSpec(i, ("link",), WeightedAlphaFairUtility(weight=weight, alpha=1.0))
+                for i, weight in enumerate([1.0, 2.0, 5.0])
+            ],
+        ),
+        _table1_spec(
+            "fct-minimization",
+            single_link_topology(capacity),
+            [
+                FlowSpec("short", ("link",), FctUtility(flow_size=10e3)),
+                FlowSpec("long", ("link",), FctUtility(flow_size=10e6)),
+            ],
+        ),
+        _table1_spec(
+            "resource-pooling",
+            explicit_links_topology({"p1": 4e9, "p2": 6e9}),
+            [
+                FlowSpec("sub1", ("p1",), LogUtility(), group_id="g"),
+                FlowSpec("sub2", ("p2",), LogUtility(), group_id="g"),
+            ],
+            groups=[GroupSpec("g", LogUtility(), members=("sub1", "sub2"))],
+        ),
+        _table1_spec(
+            "bandwidth-functions",
+            single_link_topology(25e9),
+            [
+                FlowSpec("f1", ("link",), BandwidthFunctionUtility(fig2_flow1(), alpha=5.0)),
+                FlowSpec("f2", ("link",), BandwidthFunctionUtility(fig2_flow2(), alpha=5.0)),
+            ],
+        ),
+    ]
+    tasks = tasks_from_specs(
+        specs, axes=[{"objective": spec.name.split("/", 1)[1]} for spec in specs]
     )
+    report = run_sweep(tasks, mode=mode, cache=cache, workers=workers)
+    report.raise_on_failure()
+    allocations = [run.artifacts["final_rates"] for run in report.results]
+
+    # Row 1: alpha-fairness (alpha = 1, proportional fairness) -- equal split.
+    rates = allocations[0]
     result.add_row(
         objective="alpha-fairness (alpha=1)",
         scenario="4 flows, one link",
@@ -69,15 +122,7 @@ def run_table1_allocations(capacity: float = 10e9) -> ExperimentResult:
     )
 
     # Row 2: weighted alpha-fairness -- split proportional to weights.
-    weights = [1.0, 2.0, 5.0]
-    rates = _solve(
-        "weighted-alpha-fairness",
-        single_link_topology(capacity),
-        [
-            FlowSpec(i, ("link",), WeightedAlphaFairUtility(weight=weight, alpha=1.0))
-            for i, weight in enumerate(weights)
-        ],
-    )
+    rates = allocations[1]
     result.add_row(
         objective="weighted alpha-fairness",
         scenario="weights 1:2:5, one link",
@@ -86,14 +131,7 @@ def run_table1_allocations(capacity: float = 10e9) -> ExperimentResult:
     )
 
     # Row 3: FCT minimization -- the short flow preempts the long one.
-    rates = _solve(
-        "fct-minimization",
-        single_link_topology(capacity),
-        [
-            FlowSpec("short", ("link",), FctUtility(flow_size=10e3)),
-            FlowSpec("long", ("link",), FctUtility(flow_size=10e6)),
-        ],
-    )
+    rates = allocations[2]
     result.add_row(
         objective="minimize FCT (1/s weights)",
         scenario="10 KB vs 10 MB flow",
@@ -102,15 +140,7 @@ def run_table1_allocations(capacity: float = 10e9) -> ExperimentResult:
     )
 
     # Row 4: resource pooling -- aggregate utility over two paths.
-    rates = _solve(
-        "resource-pooling",
-        explicit_links_topology({"p1": 4e9, "p2": 6e9}),
-        [
-            FlowSpec("sub1", ("p1",), LogUtility(), group_id="g"),
-            FlowSpec("sub2", ("p2",), LogUtility(), group_id="g"),
-        ],
-        groups=[GroupSpec("g", LogUtility(), members=("sub1", "sub2"))],
-    )
+    rates = allocations[3]
     result.add_row(
         objective="resource pooling",
         scenario="one flow, two paths of 4 and 6 Gbps",
@@ -120,14 +150,7 @@ def run_table1_allocations(capacity: float = 10e9) -> ExperimentResult:
 
     # Row 5: bandwidth functions -- the Fig. 2 allocation at 25 Gbps.
     _, expected = single_link_allocation([fig2_flow1(), fig2_flow2()], 25e9)
-    rates = _solve(
-        "bandwidth-functions",
-        single_link_topology(25e9),
-        [
-            FlowSpec("f1", ("link",), BandwidthFunctionUtility(fig2_flow1(), alpha=5.0)),
-            FlowSpec("f2", ("link",), BandwidthFunctionUtility(fig2_flow2(), alpha=5.0)),
-        ],
-    )
+    rates = allocations[4]
     result.add_row(
         objective="bandwidth functions",
         scenario="Fig. 2 flows on a 25 Gbps link",

@@ -1,0 +1,68 @@
+"""The fault-tolerant sweep fabric: grids, caching, sharded execution.
+
+The paper's claims are sweeps over loads x schemes x seeds; this package
+makes such sweeps a first-class, crash-only primitive:
+
+* :mod:`repro.sweep.grid` expands ``'fig5/websearch load=0.3:0.9:0.1
+  scheme=numfabric,dctcp seed=0..9'`` into ``(spec, engine, seed)`` tasks;
+* :mod:`repro.sweep.cache` memoizes each cell under a content address
+  (spec + engine + seed + code fingerprint) so reruns compute only deltas;
+* :mod:`repro.sweep.executor` fans cells out over worker processes with
+  timeouts, retry/backoff, quarantine and heartbeat-based dead-worker
+  detection;
+* :mod:`repro.sweep.driver` aggregates everything back into one
+  :class:`~repro.results.ExperimentResult`, with a serial mode kept as the
+  bit-identical parity reference.
+
+Entry points: :func:`run_sweep` (and ``python -m repro sweep`` on the
+command line).
+"""
+
+from repro.sweep.cache import (
+    CACHE_VERSION,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    canonicalize,
+    code_fingerprint,
+    decode_result,
+    encode_result,
+    spec_fingerprint,
+    task_key,
+)
+from repro.sweep.driver import SweepReport, aggregate_report, run_sweep
+from repro.sweep.executor import RetryPolicy, ShardedExecutor, SweepFailure
+from repro.sweep.grid import (
+    SweepGrid,
+    SweepTask,
+    canonical_scheme,
+    expand_grid,
+    parse_sweep,
+    tasks_from_specs,
+)
+from repro.sweep.signals import GracefulInterrupt, SweepInterrupted
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "GracefulInterrupt",
+    "ResultCache",
+    "RetryPolicy",
+    "ShardedExecutor",
+    "SweepFailure",
+    "SweepGrid",
+    "SweepInterrupted",
+    "SweepReport",
+    "SweepTask",
+    "aggregate_report",
+    "canonical_scheme",
+    "canonicalize",
+    "code_fingerprint",
+    "decode_result",
+    "encode_result",
+    "expand_grid",
+    "parse_sweep",
+    "run_sweep",
+    "spec_fingerprint",
+    "task_key",
+    "tasks_from_specs",
+]

@@ -1,0 +1,529 @@
+"""Fault-tolerant sharded execution of sweep tasks over worker processes.
+
+Crash-only by design: every completed cell is written to the
+content-addressed cache *before* the worker reports it, so the driver --
+and the whole machine -- can die at any instant and a rerun recomputes
+only the missing delta.  Failure handling is the normal path, not an
+exception path:
+
+* each worker is a ``spawn``-ed process driven over its own duplex pipe
+  (no shared queue, so killing a worker can never corrupt a lock another
+  worker holds);
+* workers heartbeat from a daemon thread; a silent worker is presumed dead
+  after ``stall_timeout`` and killed;
+* tasks carry a wall-clock ``timeout``; an overrunning worker is killed
+  and the task retried;
+* retries back off exponentially with jitter; a task that keeps failing is
+  *quarantined* -- reported as a structured :class:`SweepFailure` with its
+  captured traceback -- and the sweep still returns every other cell.
+
+Test hooks: a task's ``inject`` mapping can direct the worker to raise,
+crash (``os._exit``), hang, or hang silently (heartbeats stopped) on given
+attempts, so the whole failure matrix is exercised by fast deterministic
+tests (mirroring the repo's fault-injection philosophy).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.sweep.cache import ResultCache, encode_result
+from repro.sweep.grid import SweepTask
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry with exponential backoff plus jitter.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one try
+    plus two retries, after which the task is quarantined.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.5
+    max_delay: float = 30.0
+    jitter: float = 0.25
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        base = min(self.max_delay, self.base_delay * (2.0 ** max(0, attempt - 1)))
+        return base * (1.0 + self.jitter * rng.random())
+
+
+@dataclass
+class SweepFailure:
+    """One failed (or cancelled) sweep cell, as structured data.
+
+    ``kind`` is ``"error"`` (the task raised), ``"timeout"`` (wall-clock
+    limit), ``"crash"`` (worker process died), ``"dead-worker"`` (heartbeat
+    stall) or ``"cancelled"`` (sweep interrupted before the cell ran).
+    ``quarantined`` marks tasks that exhausted their retry budget.
+    """
+
+    index: int
+    label: str
+    kind: str
+    message: str
+    traceback: str = ""
+    attempts: int = 0
+    quarantined: bool = False
+
+    def as_row(self) -> Dict[str, Any]:
+        return {
+            "status": "failed" if self.kind != "cancelled" else "cancelled",
+            "kind": self.kind,
+            "error": self.message,
+            "attempts": self.attempts,
+        }
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def _apply_injection(inject: Mapping[str, Any], attempt: int, beating: threading.Event) -> None:
+    """Execute test-only fault directives before running the real task."""
+    if not inject:
+        return
+
+    def _matches(key: str) -> bool:
+        spec = inject.get(key)
+        if spec is None:
+            return False
+        if spec == "all":
+            return True
+        return attempt in tuple(spec)
+
+    if _matches("crash_on"):
+        os._exit(int(inject.get("exit_code", 134)))
+    if _matches("silent_hang_on"):
+        beating.clear()
+        time.sleep(float(inject.get("hang_seconds", 3600.0)))
+    if _matches("hang_on"):
+        time.sleep(float(inject.get("hang_seconds", 3600.0)))
+    if _matches("raise_on"):
+        raise RuntimeError(str(inject.get("message", "injected failure")))
+
+
+def _worker_main(conn: Connection, worker_id: int, heartbeat_interval: float) -> None:
+    """One worker process: receive tasks, run them, report over the pipe."""
+    import signal
+
+    # The driver coordinates shutdown; Ctrl-C must interrupt it, not us.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    send_lock = threading.Lock()
+    beating = threading.Event()
+    beating.set()
+
+    def send(message: Any) -> None:
+        with send_lock:
+            try:
+                conn.send(message)
+            except (BrokenPipeError, OSError):  # driver is gone; die quietly
+                os._exit(0)
+
+    def heartbeat_loop() -> None:
+        while True:
+            time.sleep(heartbeat_interval)
+            if beating.is_set():
+                send(("heartbeat", worker_id))
+
+    threading.Thread(target=heartbeat_loop, daemon=True).start()
+    send(("hello", worker_id, os.getpid()))
+
+    from repro.scenarios.runner import run_scenario
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message[0] == "stop":
+            return
+        _, index, attempt, spec, key, cache_root, inject = message
+        send(("start", worker_id, index, attempt))
+        started = time.monotonic()
+        try:
+            _apply_injection(inject, attempt, beating)
+            result = run_scenario(spec)
+            payload = encode_result(result)
+            if cache_root is not None and key is not None:
+                # Cache first, report second: if we die between the two the
+                # entry survives and the retry is a pure cache hit.
+                ResultCache(cache_root).put(key, payload)
+            send(("done", worker_id, index, attempt, payload, time.monotonic() - started))
+        except BaseException as exc:  # crash-only: report anything, keep serving
+            send(
+                (
+                    "error",
+                    worker_id,
+                    index,
+                    attempt,
+                    type(exc).__name__,
+                    str(exc),
+                    traceback.format_exc(),
+                    time.monotonic() - started,
+                )
+            )
+
+
+# -- driver side -------------------------------------------------------------
+
+
+@dataclass
+class _Attempt:
+    task: SweepTask
+    attempt: int
+    eligible_at: float
+
+
+@dataclass
+class _WorkerHandle:
+    worker_id: int
+    process: multiprocessing.process.BaseProcess
+    conn: Connection
+    current: Optional[_Attempt] = None
+    dispatched_at: float = 0.0
+    #: Set when the worker acks "start" -- i.e. after its (possibly slow,
+    #: first-task) imports.  The task timeout is measured from here.
+    task_started_at: Optional[float] = None
+    spawned_at: float = field(default_factory=time.monotonic)
+    #: True once any message arrived; heartbeat-stall detection waits for
+    #: first contact so slow spawn/imports are not mistaken for death.
+    contacted: bool = False
+    last_heartbeat: float = field(default_factory=time.monotonic)
+
+    def kill(self) -> None:
+        try:
+            self.process.terminate()
+            self.process.join(0.5)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(0.5)
+        except (OSError, ValueError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class ShardedExecutor:
+    """Fan sweep tasks out over spawn-ed worker processes, fault-tolerantly.
+
+    ``run()`` returns ``(payloads, failures, stats)``: payloads is a dict
+    ``task index -> encoded result`` for every cell that completed,
+    failures maps indices of cells that did not, and stats counts what
+    happened (computed/retried/quarantined/timeouts/crashes/...).
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[SweepTask],
+        *,
+        keys: Optional[Mapping[int, str]] = None,
+        cache: Optional[ResultCache] = None,
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        heartbeat_interval: float = 0.5,
+        stall_timeout: Optional[float] = None,
+        spawn_timeout: float = 60.0,
+        interrupt: Optional[Any] = None,
+        progress: Optional[Callable[[str], None]] = None,
+        tick: float = 0.05,
+    ):
+        self.tasks = list(tasks)
+        self._by_index = {task.index: task for task in self.tasks}
+        self.keys = dict(keys or {})
+        self.cache = cache
+        self.workers = max(1, workers or min(8, (os.cpu_count() or 2) - 1 or 1))
+        self.timeout = timeout
+        self.retry = retry or RetryPolicy()
+        self.heartbeat_interval = heartbeat_interval
+        self.stall_timeout = (
+            stall_timeout
+            if stall_timeout is not None
+            else max(10.0 * heartbeat_interval, 5.0)
+        )
+        self.spawn_timeout = spawn_timeout
+        self.interrupt = interrupt
+        self.progress = progress or (lambda message: None)
+        self.tick = tick
+        self._rng = random.Random(0x5EED)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._next_worker_id = 0
+
+    # -- lifecycle helpers --
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, worker_id, self.heartbeat_interval),
+            daemon=True,
+            name=f"sweep-worker-{worker_id}",
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(worker_id=worker_id, process=process, conn=parent_conn)
+
+    def _record_failure(
+        self,
+        state: Dict[str, Any],
+        attempt: _Attempt,
+        kind: str,
+        message: str,
+        tb: str = "",
+    ) -> None:
+        index = attempt.task.index
+        if index in state["payloads"] or index in state["failures"]:
+            return  # already resolved (e.g. a stale report raced a retry)
+        stats = state["stats"]
+        stats[kind] = stats.get(kind, 0) + 1
+        if attempt.attempt >= self.retry.max_attempts:
+            state["failures"][index] = SweepFailure(
+                index=index,
+                label=attempt.task.label,
+                kind=kind,
+                message=message,
+                traceback=tb,
+                attempts=attempt.attempt,
+                quarantined=True,
+            )
+            stats["quarantined"] = stats.get("quarantined", 0) + 1
+            self.progress(
+                f"quarantined {attempt.task.label or index} after "
+                f"{attempt.attempt} attempt(s): {kind}: {message}"
+            )
+        else:
+            delay = self.retry.delay(attempt.attempt, self._rng)
+            state["pending"].append(
+                _Attempt(attempt.task, attempt.attempt + 1, time.monotonic() + delay)
+            )
+            stats["retried"] = stats.get("retried", 0) + 1
+            self.progress(
+                f"retrying {attempt.task.label or index} in {delay:.2f}s "
+                f"(attempt {attempt.attempt + 1}/{self.retry.max_attempts}; {kind})"
+            )
+
+    def _fail_worker(
+        self, state: Dict[str, Any], worker: _WorkerHandle, kind: str, message: str
+    ) -> None:
+        attempt = worker.current
+        worker.current = None
+        worker.kill()
+        state["workers"].remove(worker)
+        if attempt is not None:
+            self._record_failure(state, attempt, kind, message)
+
+    # -- main loop --
+
+    def run(self):
+        state: Dict[str, Any] = {
+            "payloads": {},
+            "failures": {},
+            "stats": {"computed": 0},
+            "pending": [_Attempt(task, 1, 0.0) for task in self.tasks],
+            "workers": [],
+        }
+        try:
+            self._loop(state)
+        finally:
+            self._shutdown(state)
+        if self.interrupt is not None and getattr(self.interrupt, "requested", False):
+            for task in self.tasks:
+                if task.index not in state["payloads"] and task.index not in state["failures"]:
+                    state["failures"][task.index] = SweepFailure(
+                        index=task.index,
+                        label=task.label,
+                        kind="cancelled",
+                        message="sweep interrupted before this cell ran",
+                    )
+                    state["stats"]["cancelled"] = state["stats"].get("cancelled", 0) + 1
+        return state["payloads"], state["failures"], state["stats"]
+
+    def _loop(self, state: Dict[str, Any]) -> None:
+        total = len(self.tasks)
+        while len(state["payloads"]) + len(state["failures"]) < total:
+            if self.interrupt is not None and getattr(self.interrupt, "requested", False):
+                return
+            self._dispatch(state)
+            self._drain(state)
+            self._check_health(state)
+
+    def _dispatch(self, state: Dict[str, Any]) -> None:
+        now = time.monotonic()
+        pending: List[_Attempt] = state["pending"]
+        workers: List[_WorkerHandle] = state["workers"]
+        # Drop attempts whose task got resolved while they waited (a stale
+        # "done" racing a retry, or a cache hit recorded by another path).
+        pending[:] = [
+            attempt
+            for attempt in pending
+            if attempt.task.index not in state["payloads"]
+            and attempt.task.index not in state["failures"]
+        ]
+        eligible = [attempt for attempt in pending if attempt.eligible_at <= now]
+        if not eligible:
+            return
+        while eligible and (
+            any(w.current is None for w in workers) or len(workers) < self.workers
+        ):
+            idle = next((w for w in workers if w.current is None), None)
+            if idle is None:
+                idle = self._spawn_worker()
+                workers.append(idle)
+            attempt = eligible.pop(0)
+            pending.remove(attempt)
+            task = attempt.task
+            try:
+                idle.conn.send(
+                    (
+                        "task",
+                        task.index,
+                        attempt.attempt,
+                        task.spec,
+                        self.keys.get(task.index),
+                        str(self.cache.root) if self.cache is not None else None,
+                        dict(task.inject),
+                    )
+                )
+            except (BrokenPipeError, OSError):
+                pending.append(attempt)
+                self._fail_worker(state, idle, "crash", "worker pipe closed at dispatch")
+                continue
+            idle.current = attempt
+            idle.dispatched_at = time.monotonic()
+            idle.task_started_at = None
+            idle.last_heartbeat = idle.dispatched_at
+
+    def _drain(self, state: Dict[str, Any]) -> None:
+        workers: List[_WorkerHandle] = state["workers"]
+        if not workers:
+            time.sleep(self.tick)
+            return
+        conns = {w.conn: w for w in workers}
+        ready = connection_wait(list(conns), timeout=self.tick)
+        for conn in ready:
+            worker = conns[conn]
+            while True:
+                try:
+                    if not conn.poll():
+                        break
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # Pipe closed: the health check below turns this into a
+                    # crash failure once the process is observed dead.
+                    break
+                self._handle_message(state, worker, message)
+
+    def _handle_message(
+        self, state: Dict[str, Any], worker: _WorkerHandle, message: tuple
+    ) -> None:
+        kind = message[0]
+        worker.contacted = True
+        worker.last_heartbeat = time.monotonic()
+        if kind == "start":
+            # The task timeout runs from here: the worker has finished its
+            # (possibly slow, first-task) imports and begins real work.
+            if worker.current is not None and worker.current.task.index == message[2]:
+                worker.task_started_at = worker.last_heartbeat
+            return
+        if kind in ("heartbeat", "hello"):
+            return
+        if kind == "done":
+            _, _, index, attempt_no, payload, elapsed = message
+            if worker.current is not None and worker.current.task.index == index:
+                worker.current = None
+            if index not in state["payloads"]:
+                state["payloads"][index] = payload
+                state["failures"].pop(index, None)
+                state["stats"]["computed"] += 1
+                done = len(state["payloads"])
+                self.progress(
+                    f"[{done + len(state['failures'])}/{len(self.tasks)}] "
+                    f"{self._by_index[index].label or index}: ok ({elapsed:.2f}s)"
+                )
+        elif kind == "error":
+            _, _, index, attempt_no, exc_type, exc_message, tb, _elapsed = message
+            attempt = worker.current
+            if attempt is not None and attempt.task.index == index:
+                worker.current = None
+            else:  # stale report; reconstruct the attempt for bookkeeping
+                attempt = _Attempt(self._by_index[index], attempt_no, 0.0)
+            self._record_failure(
+                state, attempt, "error", f"{exc_type}: {exc_message}", tb
+            )
+
+    def _check_health(self, state: Dict[str, Any]) -> None:
+        now = time.monotonic()
+        for worker in list(state["workers"]):
+            if not worker.process.is_alive():
+                exitcode = worker.process.exitcode
+                if worker.current is not None:
+                    self._fail_worker(
+                        state,
+                        worker,
+                        "crash",
+                        f"worker process died (exit code {exitcode})",
+                    )
+                else:
+                    worker.kill()
+                    state["workers"].remove(worker)
+                continue
+            if worker.current is None:
+                continue
+            if self.timeout is not None:
+                if worker.task_started_at is not None:
+                    busy_for = now - worker.task_started_at
+                else:
+                    # No "start" ack yet: grant spawn/import grace on top of
+                    # the task timeout so fresh workers are not killed while
+                    # importing, but a wedged pre-start worker still dies.
+                    busy_for = now - worker.dispatched_at - self.stall_timeout
+                if busy_for > self.timeout:
+                    self._fail_worker(
+                        state,
+                        worker,
+                        "timeout",
+                        f"task exceeded the {self.timeout:.1f}s wall-clock timeout",
+                    )
+                    continue
+            if worker.contacted:
+                if now - worker.last_heartbeat > self.stall_timeout:
+                    self._fail_worker(
+                        state,
+                        worker,
+                        "dead-worker",
+                        f"no heartbeat for {now - worker.last_heartbeat:.1f}s "
+                        f"(threshold {self.stall_timeout:.1f}s)",
+                    )
+            elif now - worker.spawned_at > self.spawn_timeout:
+                self._fail_worker(
+                    state,
+                    worker,
+                    "dead-worker",
+                    f"worker never reported in within {self.spawn_timeout:.1f}s of spawn",
+                )
+
+    def _shutdown(self, state: Dict[str, Any]) -> None:
+        for worker in state["workers"]:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in state["workers"]:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            worker.kill()
+        state["workers"] = []

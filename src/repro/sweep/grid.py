@@ -1,0 +1,295 @@
+"""Grid expansion: one sweep expression, many ``(spec, engine, seed)`` tasks.
+
+A sweep expression names a registered scenario followed by axis
+assignments::
+
+    fig5/websearch load=0.3:0.9:0.1 scheme=numfabric,dctcp seed=0..9
+
+Axis values come in four shapes:
+
+* ``a:b:c``  -- inclusive numeric range from ``a`` to ``b`` in steps of ``c``;
+* ``a..b``   -- inclusive integer range;
+* ``x,y,z``  -- an explicit list;
+* ``x``      -- a single scalar (int/float/bool/string auto-detected).
+
+Axis *names* bind against the scenario spec: ``scheme``, ``engine``,
+``seed`` and ``scale`` are reserved (``scheme`` accepts case-insensitive
+aliases such as ``numfabric`` or ``rcpstar``); any other name resolves, in
+order, against the spec's workload, topology and objective parameters and
+its sizing knobs, and is rejected at parse time when it matches none of
+them.  Expansion is the cartesian product in the
+order the axes were written, so task order -- and therefore aggregate row
+order -- is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.scenarios.catalog import get_scenario
+from repro.scenarios.spec import ENGINES, ScenarioSpec
+
+#: Case-insensitive aliases for the evaluation's scheme names.
+SCHEME_ALIASES = {
+    "numfabric": "NUMFabric",
+    "xwi": "NUMFabric",
+    "dgd": "DGD",
+    "rcp*": "RCP*",
+    "rcpstar": "RCP*",
+    "rcp_star": "RCP*",
+    "dctcp": "DCTCP",
+    "pfabric": "pFabric",
+    "oracle": "Oracle",
+}
+
+#: Axis names with dedicated bindings (everything else resolves by lookup).
+RESERVED_AXES = ("scheme", "engine", "seed", "scale")
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One executable cell of a sweep: a fully-resolved spec plus its axes.
+
+    ``axes`` records the axis assignment that produced this cell (in axis
+    order) so aggregation can label rows; ``inject`` carries test-only fault
+    directives for the executor (see ``repro.sweep.executor``) and is
+    deliberately excluded from the cache key.
+    """
+
+    index: int
+    spec: ScenarioSpec
+    engine: str
+    seed: Optional[int]
+    axes: Tuple[Tuple[str, Any], ...] = ()
+    inject: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        if not self.axes:
+            return self.spec.name
+        return " ".join(f"{key}={value}" for key, value in self.axes)
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A parsed sweep: the base scenario plus ordered axes."""
+
+    scenario: str
+    scale: str
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+    base_spec: ScenarioSpec
+
+    @property
+    def num_cells(self) -> int:
+        n = 1
+        for _, values in self.axes:
+            n *= len(values)
+        return n
+
+
+def canonical_scheme(name: str) -> str:
+    """Map a user-typed scheme name to its canonical spelling."""
+    canonical = SCHEME_ALIASES.get(str(name).lower())
+    if canonical is None:
+        if name in set(SCHEME_ALIASES.values()):
+            return name
+        known = ", ".join(sorted(set(SCHEME_ALIASES.values())))
+        raise ValueError(f"unknown scheme {name!r}; known schemes: {known}")
+    return canonical
+
+
+def _parse_scalar(text: str) -> Any:
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _parse_values(text: str) -> Tuple[Any, ...]:
+    """Parse one axis value expression into its tuple of values."""
+    if "," in text:
+        parts = [part.strip() for part in text.split(",") if part.strip()]
+        if not parts:
+            raise ValueError(f"empty value list in {text!r}")
+        return tuple(_parse_scalar(part) for part in parts)
+    if ".." in text:
+        lo_text, _, hi_text = text.partition("..")
+        try:
+            lo, hi = int(lo_text), int(hi_text)
+        except ValueError:
+            raise ValueError(f"integer range expected in {text!r} (use a..b)") from None
+        if hi < lo:
+            raise ValueError(f"empty integer range {text!r}")
+        return tuple(range(lo, hi + 1))
+    if text.count(":") == 2:
+        start_text, stop_text, step_text = text.split(":")
+        try:
+            start, stop, step = float(start_text), float(stop_text), float(step_text)
+        except ValueError:
+            raise ValueError(f"numeric range expected in {text!r} (use start:stop:step)") from None
+        if step <= 0:
+            raise ValueError(f"range step must be positive in {text!r}")
+        count = int(round((stop - start) / step))
+        if count < 0:
+            raise ValueError(f"empty numeric range {text!r}")
+        # Round away accumulated binary dust so 0.3:0.9:0.1 yields exactly 0.4.
+        return tuple(round(start + i * step, 12) for i in range(count + 1))
+    return (_parse_scalar(text),)
+
+
+def parse_sweep(
+    expression: str,
+    *,
+    scale: Optional[str] = None,
+    engine: Optional[str] = None,
+) -> SweepGrid:
+    """Parse a sweep expression into a :class:`SweepGrid`.
+
+    ``scale`` and ``engine`` are CLI-level overrides: ``scale`` replaces any
+    ``scale=`` token, ``engine`` is appended as a single-valued axis when
+    the expression does not already sweep engines.
+    """
+    tokens = expression.split()
+    if not tokens:
+        raise ValueError("empty sweep expression; expected '<scenario> [axis=values ...]'")
+    scenario = tokens[0]
+    if "=" in scenario:
+        raise ValueError(
+            f"sweep expression must start with a scenario name, got {scenario!r}"
+        )
+    axes: List[Tuple[str, Tuple[Any, ...]]] = []
+    seen: set = set()
+    grid_scale = scale
+    for token in tokens[1:]:
+        key, eq, value_text = token.partition("=")
+        if not eq or not key or not value_text:
+            raise ValueError(f"malformed axis {token!r}; expected key=values")
+        if key in seen:
+            raise ValueError(f"duplicate axis {key!r}")
+        seen.add(key)
+        values = _parse_values(value_text)
+        if key == "scale":
+            if len(values) != 1:
+                raise ValueError("scale cannot be swept; give a single toy/paper value")
+            if grid_scale is None:
+                grid_scale = str(values[0])
+            continue
+        if key == "scheme":
+            values = tuple(canonical_scheme(v) for v in values)
+        if key == "seed":
+            if not all(isinstance(v, int) for v in values):
+                raise ValueError(f"seed axis must be integers, got {values!r}")
+        if key == "engine":
+            for v in values:
+                if v not in ENGINES:
+                    raise ValueError(f"unknown engine {v!r}; expected one of {ENGINES}")
+        axes.append((key, values))
+    if engine is not None and "engine" not in seen:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        axes.append(("engine", (engine,)))
+    grid_scale = grid_scale or "toy"
+    base_spec = get_scenario(scenario, scale=grid_scale)
+    grid = SweepGrid(
+        scenario=scenario, scale=grid_scale, axes=tuple(axes), base_spec=base_spec
+    )
+    # Validate every axis value eagerly so a typo fails at parse time, not
+    # as a quarantined cell an hour into the sweep.
+    for key, values in grid.axes:
+        for value in values:
+            _bind_axis(base_spec, key, value)
+    return grid
+
+
+def _override_params(spec: ScenarioSpec, field_name: str, key: str, value: Any) -> ScenarioSpec:
+    part = getattr(spec, field_name)
+    params = dict(part.params)
+    params[key] = value
+    return replace(spec, **{field_name: replace(part, params=params)})
+
+
+def _bind_axis(spec: ScenarioSpec, key: str, value: Any) -> ScenarioSpec:
+    """Apply one axis assignment to a spec, returning the derived spec."""
+    if key == "engine":
+        return spec.using(engine=value)
+    if key == "seed":
+        return spec.using(seed=int(value))
+    if key == "scheme":
+        return replace(spec, scheme=replace(spec.scheme, name=canonical_scheme(value)))
+    if key in spec.workload.params:
+        return _override_params(spec, "workload", key, value)
+    if key in spec.topology.params:
+        return _override_params(spec, "topology", key, value)
+    if key in spec.objective.params:
+        return _override_params(spec, "objective", key, value)
+    if key in spec.sizing:
+        return spec.using(**{key: value})
+    known = sorted(
+        set(RESERVED_AXES)
+        | set(spec.workload.params)
+        | set(spec.topology.params)
+        | set(spec.objective.params)
+        | set(spec.sizing)
+    )
+    raise ValueError(
+        f"unknown axis {key!r} for scenario {spec.name!r}; known axes: {', '.join(known)}"
+    )
+
+
+def expand_grid(grid: SweepGrid) -> List[SweepTask]:
+    """Expand a grid into its full task list (cartesian, axis order)."""
+    assignments: List[List[Tuple[str, Any]]] = [[]]
+    for key, values in grid.axes:
+        assignments = [
+            combo + [(key, value)] for combo in assignments for value in values
+        ]
+    tasks: List[SweepTask] = []
+    for index, combo in enumerate(assignments):
+        spec = grid.base_spec
+        for key, value in combo:
+            spec = _bind_axis(spec, key, value)
+        tasks.append(
+            SweepTask(
+                index=index,
+                spec=spec,
+                engine=spec.engine,
+                seed=spec.seed,
+                axes=tuple(combo),
+            )
+        )
+    return tasks
+
+
+def tasks_from_specs(
+    specs: Sequence[ScenarioSpec],
+    axes: Optional[Sequence[Mapping[str, Any]]] = None,
+) -> List[SweepTask]:
+    """Wrap pre-built specs as sweep tasks (the harnesses' entry point).
+
+    ``axes`` optionally labels each task (one mapping per spec) so the
+    aggregate rows carry the harness's own sweep coordinates.
+    """
+    if axes is not None and len(axes) != len(specs):
+        raise ValueError(f"axes length {len(axes)} != specs length {len(specs)}")
+    tasks = []
+    for index, spec in enumerate(specs):
+        label: Dict[str, Any] = dict(axes[index]) if axes is not None else {}
+        tasks.append(
+            SweepTask(
+                index=index,
+                spec=spec,
+                engine=spec.engine,
+                seed=spec.seed,
+                axes=tuple(label.items()),
+            )
+        )
+    return tasks

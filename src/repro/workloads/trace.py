@@ -14,6 +14,9 @@ Two self-describing formats are accepted and auto-detected:
 * **JSONL**: one JSON object per line with the same keys.
 
 Lines that are blank or start with ``#`` are skipped in both formats.
+Malformed input fails with a :class:`ValueError` naming the offending
+1-based line number of the original file, so a bad row in a million-line
+trace is findable.
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ import csv
 import io
 import json
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Iterable, List, Tuple, Union
 
 from repro.workloads.poisson import FlowArrival
 
@@ -31,41 +34,62 @@ TraceSource = Union[str, Path, Iterable[str]]
 _REQUIRED = ("time", "source", "destination", "size_bytes")
 
 
-def _clean_lines(lines: Iterable[str]) -> List[str]:
+def _clean_lines(lines: Iterable[str]) -> List[Tuple[int, str]]:
+    """Strip blanks and comments, keeping each line's original number."""
     cleaned = []
-    for line in lines:
+    for lineno, line in enumerate(lines, start=1):
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
             continue
-        cleaned.append(stripped)
+        cleaned.append((lineno, stripped))
     return cleaned
 
 
-def _record_to_arrival(record: dict, default_flow_id: int) -> FlowArrival:
+def _record_to_arrival(record: dict, default_flow_id: int, lineno: int) -> FlowArrival:
     missing = [key for key in _REQUIRED if record.get(key) in (None, "")]
     if missing:
-        raise ValueError(f"trace record missing field(s) {missing}: {record}")
+        raise ValueError(f"trace line {lineno}: missing field(s) {missing}: {record}")
     flow_id = record.get("flow_id")
-    arrival = FlowArrival(
-        flow_id=int(flow_id) if flow_id not in (None, "") else default_flow_id,
-        time=float(record["time"]),
-        source=int(record["source"]),
-        destination=int(record["destination"]),
-        size_bytes=int(float(record["size_bytes"])),
-    )
+    try:
+        arrival = FlowArrival(
+            flow_id=int(flow_id) if flow_id not in (None, "") else default_flow_id,
+            time=float(record["time"]),
+            source=int(record["source"]),
+            destination=int(record["destination"]),
+            size_bytes=int(float(record["size_bytes"])),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"trace line {lineno}: malformed value ({exc}): {record}") from None
     if arrival.time < 0:
-        raise ValueError(f"trace arrival time must be non-negative: {record}")
+        raise ValueError(f"trace line {lineno}: arrival time must be non-negative: {record}")
     if arrival.size_bytes <= 0:
-        raise ValueError(f"trace flow size must be positive: {record}")
+        raise ValueError(f"trace line {lineno}: flow size must be positive: {record}")
     if arrival.source == arrival.destination:
-        raise ValueError(f"trace source and destination must differ: {record}")
+        raise ValueError(
+            f"trace line {lineno}: source and destination must differ: {record}"
+        )
     return arrival
+
+
+def _parse_csv_row(line: str, lineno: int, fields: List[str]) -> dict:
+    try:
+        cells = next(csv.reader([line]))
+    except csv.Error as exc:
+        raise ValueError(f"trace line {lineno}: malformed CSV ({exc}): {line!r}") from None
+    if len(cells) != len(fields):
+        raise ValueError(
+            f"trace line {lineno}: expected {len(fields)} column(s) "
+            f"{fields}, got {len(cells)}: {line!r}"
+        )
+    return {key: value.strip() for key, value in zip(fields, cells)}
 
 
 def arrivals_from_trace(source: TraceSource) -> List[FlowArrival]:
     """Read a flow-arrival schedule from a path, text block or line iterable.
 
     Returns arrivals sorted by time (stable, so file order breaks ties).
+    Raises :class:`ValueError` for malformed content, naming the offending
+    line number of the original input.
     """
     if isinstance(source, Path):
         lines = source.read_text().splitlines()
@@ -74,23 +98,42 @@ def arrivals_from_trace(source: TraceSource) -> List[FlowArrival]:
         lines = source.splitlines() if "\n" in source else Path(source).read_text().splitlines()
     else:
         lines = list(source)
-    lines = _clean_lines(lines)
-    if not lines:
+    numbered = _clean_lines(lines)
+    if not numbered:
         return []
 
     arrivals: List[FlowArrival] = []
-    if lines[0].lstrip().startswith("{"):
-        for index, line in enumerate(lines):
-            arrivals.append(_record_to_arrival(json.loads(line), index))
+    if numbered[0][1].startswith("{"):
+        for index, (lineno, line) in enumerate(numbered):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"trace line {lineno}: invalid JSON ({exc.msg}): {line!r}"
+                ) from None
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"trace line {lineno}: expected a JSON object, "
+                    f"got {type(record).__name__}: {line!r}"
+                )
+            arrivals.append(_record_to_arrival(record, index, lineno))
     else:
-        reader = csv.DictReader(io.StringIO("\n".join(lines)))
-        fields = [name.strip() for name in (reader.fieldnames or [])]
+        header_lineno, header = numbered[0]
+        try:
+            fields = [name.strip() for name in next(csv.reader([header]))]
+        except csv.Error as exc:
+            raise ValueError(
+                f"trace line {header_lineno}: malformed CSV header ({exc}): {header!r}"
+            ) from None
         missing = [key for key in _REQUIRED if key not in fields]
         if missing:
-            raise ValueError(f"trace CSV header missing column(s) {missing}; found {fields}")
-        for index, row in enumerate(reader):
-            record = {key.strip(): value for key, value in row.items() if key is not None}
-            arrivals.append(_record_to_arrival(record, index))
+            raise ValueError(
+                f"trace line {header_lineno}: CSV header missing column(s) "
+                f"{missing}; found {fields}"
+            )
+        for index, (lineno, line) in enumerate(numbered[1:]):
+            record = _parse_csv_row(line, lineno, fields)
+            arrivals.append(_record_to_arrival(record, index, lineno))
     arrivals.sort(key=lambda a: a.time)
     return arrivals
 

@@ -1,0 +1,145 @@
+"""Content addressing: canonical spec hashing and the on-disk result cache."""
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.results import ExperimentResult
+from repro.scenarios.catalog import get_scenario
+from repro.sweep import (
+    CACHE_VERSION,
+    ResultCache,
+    canonicalize,
+    decode_result,
+    encode_result,
+    spec_fingerprint,
+    task_key,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestCanonicalize:
+    def test_dict_key_order_is_irrelevant(self):
+        assert canonicalize({"a": 1, "b": 2}) == canonicalize({"b": 2, "a": 1})
+
+    def test_floats_hash_by_repr(self):
+        assert canonicalize(0.1) == ["f", "0.1"]
+        assert canonicalize(0.1) != canonicalize(0.2)
+
+    def test_sets_are_order_independent(self):
+        assert canonicalize({3, 1, 2}) == canonicalize({2, 3, 1})
+
+    def test_memory_addresses_are_rejected(self):
+        # A bare object has no __dict__, no __slots__ and a repr that embeds
+        # its address -- the one shape that must never reach a cache key.
+        with pytest.raises(ValueError, match="memory address"):
+            canonicalize(object())
+
+
+class TestSpecHashing:
+    def test_spec_pickle_round_trip(self):
+        # Satellite requirement: specs must survive the trip to a spawn-ed
+        # worker bit-identically (same fingerprint on the far side).
+        spec = get_scenario("fig4/single-link-churn")
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert spec_fingerprint(clone) == spec_fingerprint(spec)
+
+    def test_every_registered_scenario_pickles(self):
+        from repro.scenarios.catalog import list_scenarios
+
+        for entry in list_scenarios():
+            spec = get_scenario(entry.name)
+            clone = pickle.loads(pickle.dumps(spec))
+            assert spec_fingerprint(clone) == spec_fingerprint(spec), entry.name
+
+    def test_using_derivative_hashes_differently(self):
+        spec = get_scenario("fig4/single-link-churn")
+        derived = spec.using(seed=(spec.seed or 0) + 1)
+        assert task_key(spec, code="x") != task_key(derived, code="x")
+        assert task_key(spec, code="x") != task_key(spec, seed=99, code="x")
+
+    def test_engine_and_code_feed_the_key(self):
+        spec = get_scenario("fig4/single-link-churn")
+        assert task_key(spec, "fluid", code="x") != task_key(spec, "flow", code="x")
+        assert task_key(spec, code="x") != task_key(spec, code="y")
+
+    def test_key_stable_across_processes(self):
+        # The whole point of content addressing: an independent interpreter
+        # computes the identical key for the identical cell.
+        spec = get_scenario("fig4/single-link-churn")
+        local = task_key(spec, code="fixed")
+        script = (
+            "from repro.scenarios.catalog import get_scenario\n"
+            "from repro.sweep import task_key\n"
+            "print(task_key(get_scenario('fig4/single-link-churn'), code='fixed'))\n"
+        )
+        remote = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        ).stdout.strip()
+        assert remote == local
+
+
+class TestResultCodec:
+    def test_round_trip(self):
+        result = ExperimentResult(experiment_id="x", title="t", notes="n")
+        result.add_row(a=1, b=2.5)
+        result.artifacts["final_rates"] = {"f": 1.0}
+        clone = decode_result(encode_result(result))
+        assert clone.rows == result.rows
+        assert clone.artifacts["final_rates"] == {"f": 1.0}
+
+    def test_unpicklable_artifacts_are_dropped_and_recorded(self):
+        result = ExperimentResult(experiment_id="x", title="t")
+        result.artifacts["ok"] = [1, 2]
+        result.artifacts["network"] = lambda: None  # unpicklable stand-in
+        payload = encode_result(result)
+        assert "network" not in payload["artifacts"]
+        assert payload["dropped_artifacts"] == ("network",)
+        clone = decode_result(payload)
+        assert clone.artifacts["ok"] == [1, 2]
+        assert clone.artifacts["dropped_artifacts"] == ("network",)
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"rows": [1]})
+        assert ("ab" * 32) in cache
+        assert cache.get("ab" * 32)["rows"] == [1]
+        assert len(cache) == 1
+
+    def test_miss_on_absent_torn_or_skewed_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        assert cache.get(key) is None
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"torn write, not a pickle")
+        assert cache.get(key) is None
+        cache.put(key, {"version": CACHE_VERSION - 1})
+        # put() stamps the current version, so poison the version by hand.
+        payload = pickle.loads(path.read_bytes())
+        payload["version"] = CACHE_VERSION - 1
+        path.write_bytes(pickle.dumps(payload))
+        assert cache.get(key) is None
+
+    def test_entry_bound_to_its_key(self, tmp_path):
+        # A mis-filed entry (manual copy, collision) is treated as a miss.
+        cache = ResultCache(tmp_path)
+        key_a, key_b = "aa" * 32, "bb" * 32
+        cache.put(key_a, {"rows": []})
+        target = cache.path_for(key_b)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(cache.path_for(key_a).read_bytes())
+        assert cache.get(key_b) is None

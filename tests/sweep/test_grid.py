@@ -1,0 +1,124 @@
+"""Grid-expression parsing and expansion."""
+
+import pytest
+
+from repro.scenarios.catalog import get_scenario
+from repro.sweep import expand_grid, parse_sweep, tasks_from_specs
+from repro.sweep.grid import _parse_values
+
+
+class TestParseValues:
+    def test_comma_list(self):
+        assert _parse_values("numfabric,dctcp") == ("numfabric", "dctcp")
+
+    def test_int_range(self):
+        assert _parse_values("0..3") == (0, 1, 2, 3)
+
+    def test_float_range_is_exact(self):
+        values = _parse_values("0.3:0.9:0.1")
+        assert values == (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+    def test_scalar_autodetect(self):
+        assert _parse_values("2") == (2,)
+        assert _parse_values("2.5") == (2.5,)
+        assert _parse_values("true") == (True,)
+        assert _parse_values("websearch") == ("websearch",)
+
+    def test_bad_ranges(self):
+        with pytest.raises(ValueError):
+            _parse_values("3..1")
+        with pytest.raises(ValueError):
+            _parse_values("a..b")
+        with pytest.raises(ValueError):
+            _parse_values("0.1:0.9:-0.1")
+
+
+class TestParseSweep:
+    def test_basic_grid(self):
+        grid = parse_sweep("fig4/single-link-churn scheme=numfabric,dctcp seed=0..2")
+        assert grid.scenario == "fig4/single-link-churn"
+        assert grid.scale == "toy"
+        assert grid.num_cells == 6
+        assert [key for key, _ in grid.axes] == ["scheme", "seed"]
+
+    def test_scheme_aliases_canonicalized(self):
+        grid = parse_sweep("fig4/single-link-churn scheme=numfabric,rcpstar")
+        assert dict(grid.axes)["scheme"] == ("NUMFabric", "RCP*")
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            parse_sweep("no/such-scenario seed=0")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            parse_sweep("fig4/single-link-churn scheme=bogus")
+
+    def test_duplicate_axis(self):
+        with pytest.raises(ValueError, match="duplicate axis"):
+            parse_sweep("fig4/single-link-churn seed=0 seed=1")
+
+    def test_malformed_axis(self):
+        with pytest.raises(ValueError, match="malformed axis"):
+            parse_sweep("fig4/single-link-churn seed")
+
+    def test_scenario_must_come_first(self):
+        with pytest.raises(ValueError, match="must start with a scenario"):
+            parse_sweep("seed=0 fig4/single-link-churn")
+
+    def test_scale_cannot_be_swept(self):
+        with pytest.raises(ValueError, match="scale cannot be swept"):
+            parse_sweep("fig4/single-link-churn scale=toy,paper")
+
+    def test_cli_engine_becomes_axis(self):
+        grid = parse_sweep("fig4/single-link-churn seed=0..1", engine="fluid")
+        assert dict(grid.axes)["engine"] == ("fluid",)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            parse_sweep("fig4/single-link-churn engine=quantum")
+
+    def test_bad_axis_value_fails_at_parse_time(self):
+        # Binding is validated eagerly: a typo'd axis name fails here, not
+        # as a quarantined cell mid-sweep.
+        with pytest.raises((TypeError, ValueError)):
+            parse_sweep("fig4/single-link-churn no_such_axis=1")
+
+
+class TestExpandGrid:
+    def test_cartesian_order_is_deterministic(self):
+        grid = parse_sweep("fig4/single-link-churn scheme=numfabric,dctcp seed=0..1")
+        tasks = expand_grid(grid)
+        assert [task.index for task in tasks] == [0, 1, 2, 3]
+        assert [task.label for task in tasks] == [
+            "scheme=NUMFabric seed=0",
+            "scheme=NUMFabric seed=1",
+            "scheme=DCTCP seed=0",
+            "scheme=DCTCP seed=1",
+        ]
+
+    def test_axes_bind_into_specs(self):
+        grid = parse_sweep("fig4/single-link-churn scheme=dctcp seed=5")
+        (task,) = expand_grid(grid)
+        assert task.spec.scheme.name == "DCTCP"
+        assert task.spec.seed == 5
+        assert task.seed == 5
+
+    def test_workload_parameter_axis(self):
+        base = get_scenario("fig5/websearch")
+        key = next(iter(base.workload.params))
+        grid = parse_sweep(f"fig5/websearch {key}={base.workload.params[key]}")
+        (task,) = expand_grid(grid)
+        assert task.spec.workload.params[key] == base.workload.params[key]
+
+
+class TestTasksFromSpecs:
+    def test_wraps_prebuilt_specs(self):
+        specs = [get_scenario("fig4/single-link-churn")] * 2
+        tasks = tasks_from_specs(specs, axes=[{"cell": "a"}, {"cell": "b"}])
+        assert [task.index for task in tasks] == [0, 1]
+        assert tasks[0].label == "cell=a"
+        assert tasks[1].axes == (("cell", "b"),)
+
+    def test_axes_length_mismatch(self):
+        with pytest.raises(ValueError, match="axes length"):
+            tasks_from_specs([get_scenario("fig4/single-link-churn")], axes=[])

@@ -1,0 +1,74 @@
+"""Malformed-trace handling: every error names the offending line."""
+
+import pytest
+
+from repro.workloads.trace import arrivals_from_trace, trace_from_arrivals
+
+CSV_HEADER = "flow_id,time,source,destination,size_bytes"
+
+
+class TestCsvHardening:
+    def test_good_trace_still_parses(self):
+        arrivals = arrivals_from_trace(f"{CSV_HEADER}\n0,0.0,0,1,1000\n1,0.5,2,3,2000\n")
+        assert [a.flow_id for a in arrivals] == [0, 1]
+
+    def test_header_missing_column_names_line(self):
+        with pytest.raises(ValueError, match=r"trace line 1: CSV header missing"):
+            arrivals_from_trace("flow_id,time,source\n0,0.0,0\n")
+
+    def test_wrong_column_count_names_line(self):
+        trace = f"{CSV_HEADER}\n0,0.0,0,1,1000\n1,0.5,2,3\n"
+        with pytest.raises(ValueError, match=r"trace line 3: expected 5 column"):
+            arrivals_from_trace(trace)
+
+    def test_non_numeric_value_names_line(self):
+        trace = f"# comment\n{CSV_HEADER}\n0,0.0,0,1,1000\n1,abc,2,3,2000\n"
+        # Comments count toward line numbers: the bad row is physical line 4.
+        with pytest.raises(ValueError, match=r"trace line 4: malformed value"):
+            arrivals_from_trace(trace)
+
+    def test_semantic_errors_name_line(self):
+        with pytest.raises(ValueError, match=r"trace line 2: .*non-negative"):
+            arrivals_from_trace(f"{CSV_HEADER}\n0,-1.0,0,1,1000\n")
+        with pytest.raises(ValueError, match=r"trace line 2: .*must be positive"):
+            arrivals_from_trace(f"{CSV_HEADER}\n0,0.0,0,1,0\n")
+        with pytest.raises(ValueError, match=r"trace line 3: .*must differ"):
+            arrivals_from_trace(f"{CSV_HEADER}\n0,0.0,0,1,10\n1,0.5,2,2,10\n")
+
+    def test_blank_lines_do_not_shift_numbering(self):
+        trace = f"{CSV_HEADER}\n\n\n0,0.0,0,1,1000\n1,bad,2,3,2000\n"
+        with pytest.raises(ValueError, match=r"trace line 5"):
+            arrivals_from_trace(trace)
+
+
+class TestJsonlHardening:
+    def test_good_trace_still_parses(self):
+        trace = (
+            '{"time": 0.0, "source": 0, "destination": 1, "size_bytes": 1000}\n'
+            '{"time": 0.5, "source": 2, "destination": 3, "size_bytes": 2000}\n'
+        )
+        assert len(arrivals_from_trace(trace)) == 2
+
+    def test_invalid_json_names_line(self):
+        trace = (
+            '{"time": 0.0, "source": 0, "destination": 1, "size_bytes": 1000}\n'
+            '{"time": 0.5, "source": 2 BROKEN\n'
+        )
+        with pytest.raises(ValueError, match=r"trace line 2: invalid JSON"):
+            arrivals_from_trace(trace)
+
+    def test_non_object_line_rejected(self):
+        trace = '{"time": 0.0, "source": 0, "destination": 1, "size_bytes": 1}\n[1, 2]\n'
+        with pytest.raises(ValueError, match=r"trace line 2: expected a JSON object"):
+            arrivals_from_trace(trace)
+
+    def test_missing_field_names_line(self):
+        trace = '{"time": 0.0, "source": 0, "destination": 1}\n'
+        with pytest.raises(ValueError, match=r"trace line 1: missing field.*size_bytes"):
+            arrivals_from_trace(trace)
+
+
+class TestRoundTrip:
+    def test_export_then_reimport_is_identical(self):
+        original = arrivals_from_trace(f"{CSV_HEADER}\n0,0.25,0,1,1000\n1,0.125,2,3,2000\n")
+        assert arrivals_from_trace(trace_from_arrivals(original)) == original
