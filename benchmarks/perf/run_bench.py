@@ -30,6 +30,11 @@ Times (stdlib ``time.perf_counter`` only, no external dependencies):
   the sampled sizes), plus -- in full mode -- the Fig. 5 paper-scale
   end-to-end run (10k-flow Poisson web-search workload, Oracle +
   NUMFabric), which the roadmap requires to finish in under a minute;
+* the streaming result layer: the same sized websearch replay through the
+  bounded-memory streaming executor and the materializing flow engine
+  (each in its own subprocess so peak RSS is comparable), with the
+  streamed P50/P99 FCT gated at 1% of the exact post-hoc percentiles --
+  100k flows in full mode, the long-horizon acceptance size;
 * the discrete-event engine: a cancellation-heavy self-rescheduling
   workload (exercising the lazy purge and the O(1) ``pending_events``
   counter), the handle-allocating vs fire-and-forget scheduling paths on
@@ -587,6 +592,104 @@ def bench_flow_level(flow_counts: List[int], dict_limit: Optional[int] = None) -
     return rows
 
 
+#: Streaming quantiles must stay within 1% of the exact post-hoc
+#: percentiles (the GK sketch's value-error budget at the default epsilon).
+STREAMING_PARITY_TOLERANCE = 1e-2
+
+
+def _streaming_replay_spec(num_flows: int):
+    from dataclasses import replace
+
+    from repro.scenarios import get_scenario
+
+    base = get_scenario("fig5/websearch")
+    params = {**dict(base.workload.params), "num_flows": num_flows}
+    return replace(base, workload=replace(base.workload, params=params), seed=3)
+
+
+def streaming_replay_child(mode: str, num_flows: int) -> Dict:
+    """One side of the streaming-replay bench, run in a fresh process.
+
+    Isolation matters here: ``ru_maxrss`` is a process-lifetime high-water
+    mark, so measuring both sides (or running after the other bench
+    sections) in one process would make the peaks incomparable.
+    """
+    import resource
+
+    from repro.scenarios import run_scenario, run_scenario_streaming
+
+    spec = _streaming_replay_spec(num_flows)
+    start = time.perf_counter()
+    if mode == "streaming":
+        result = run_scenario_streaming(spec, engine="flow")
+        summary = result.rows[0]
+        payload = {
+            "completed": summary["flows_completed"],
+            "fct_p50": summary["fct_p50"],
+            "fct_p99": summary["fct_p99"],
+            "utilization_windows": len(result.artifacts["utilization_windows"]),
+        }
+    else:
+        result = run_scenario(spec, engine="flow")
+        fcts = np.array([row["fct"] for row in result.rows])
+        payload = {
+            "completed": len(result.rows),
+            "fct_p50": float(np.percentile(fcts, 50.0)),
+            "fct_p99": float(np.percentile(fcts, 99.0)),
+        }
+    payload["seconds"] = time.perf_counter() - start
+    payload["maxrss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return payload
+
+
+def bench_streaming_replay(num_flows: int) -> Dict:
+    """Long-horizon websearch replay: streaming runner vs post-hoc reference.
+
+    Runs the same sized fig5/websearch spec twice, each side in its own
+    subprocess (see :func:`streaming_replay_child`): once through the
+    bounded-memory streaming executor and once through the materializing
+    flow engine.  The streamed P50/P99 FCT are gated at 1% of the exact
+    percentiles; the per-process peak-RSS pair is the flat-memory
+    evidence -- the streaming side never holds the per-flow dump, so its
+    peak stays below the materializing side's at every trace length.
+    """
+    import subprocess
+
+    sides = {}
+    for mode in ("streaming", "posthoc"):
+        process = subprocess.run(
+            [
+                sys.executable,
+                os.path.abspath(__file__),
+                "--streaming-child",
+                mode,
+                "--flows",
+                str(num_flows),
+            ],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        sides[mode] = json.loads(process.stdout)
+    streamed, posthoc = sides["streaming"], sides["posthoc"]
+    errors = {
+        key: abs(streamed[key] - posthoc[key]) / posthoc[key]
+        for key in ("fct_p50", "fct_p99")
+    }
+    return {
+        "flows": num_flows,
+        "completed": streamed["completed"],
+        "streaming_seconds": streamed["seconds"],
+        "posthoc_seconds": posthoc["seconds"],
+        "p50_rel_error": errors["fct_p50"],
+        "p99_rel_error": errors["fct_p99"],
+        "max_rel_quantile_diff": max(errors.values()),
+        "utilization_windows": streamed["utilization_windows"],
+        "streaming_maxrss_kb": streamed["maxrss_kb"],
+        "posthoc_maxrss_kb": posthoc["maxrss_kb"],
+    }
+
+
 def bench_fig5_paper_scale() -> Dict:
     """The Fig. 5 acceptance run: 10k-flow web-search workload, end to end.
 
@@ -758,6 +861,20 @@ def enforce_parity(results: Dict) -> None:
         # Rows beyond the dict sampling limit carry no parity number.
         if row["max_rel_fct_diff"] is not None and row["max_rel_fct_diff"] > PARITY_TOLERANCE:
             failures.append(("flow_level", row["flows"], row["max_rel_fct_diff"]))
+    streaming = results.get("streaming_replay")
+    if streaming is not None:
+        if streaming["max_rel_quantile_diff"] > STREAMING_PARITY_TOLERANCE:
+            failures.append(
+                ("streaming_replay", streaming["flows"], streaming["max_rel_quantile_diff"])
+            )
+        # Below ~10k flows the per-flow dump is smaller than interpreter
+        # noise between two fresh processes, so the RSS gate only applies
+        # at sizes where the materialized state actually dominates.
+        if (
+            streaming["flows"] >= 10_000
+            and streaming["streaming_maxrss_kb"] > streaming["posthoc_maxrss_kb"]
+        ):
+            failures.append(("streaming_replay_rss", streaming["flows"], float("inf")))
     if failures:
         details = ", ".join(
             f"{name} at {flows} flows diverged by {diff:.3e}" for name, flows, diff in failures
@@ -776,6 +893,7 @@ def run(smoke: bool = False) -> Dict:
         waterfill_counts, waterfill_repeats = [20, 50], 3
         flow_level_counts, dict_limit = [100], None
         engine_events, port_packets = 10_000, 2_000
+        streaming_flows = 1_500
     else:
         flow_counts, xwi_iterations, maxmin_repeats = [50, 200, 1000], 25, 10
         oracle_counts, oracle_repeats = [50, 200, 1000], 5
@@ -786,6 +904,9 @@ def run(smoke: bool = False) -> Dict:
         # full-mode bench time; parity stays pinned at the sampled sizes.
         flow_level_counts, dict_limit = [500, 2000, 10_000], 2000
         engine_events, port_packets = 100_000, 50_000
+        # The ISSUE-8 acceptance size: a 100k-flow long-horizon replay
+        # (several minutes per side; the streaming path must stay flat).
+        streaming_flows = 100_000
     results = {
         "meta": {
             "smoke": smoke,
@@ -802,6 +923,7 @@ def run(smoke: bool = False) -> Dict:
         "waterfill": bench_waterfill(waterfill_counts, waterfill_repeats),
         "flow_level": bench_flow_level(flow_level_counts, dict_limit),
         "engine": bench_engine(engine_events, port_packets),
+        "streaming_replay": bench_streaming_replay(streaming_flows),
     }
     if not smoke:
         # The Fig. 5 acceptance run is full-mode only: it simulates the
@@ -822,6 +944,7 @@ REQUIRED_SECTIONS = (
     "waterfill",
     "flow_level",
     "engine",
+    "streaming_replay",
 )
 
 
@@ -867,7 +990,16 @@ def main(argv: Optional[List[str]] = None) -> Dict:
         help="run a fresh smoke pass and audit the committed JSON instead of "
         "benchmarking (fails loudly on parity-gate drift; writes nothing)",
     )
+    parser.add_argument(
+        "--streaming-child",
+        choices=("streaming", "posthoc"),
+        help=argparse.SUPPRESS,  # internal: one isolated streaming-replay side
+    )
+    parser.add_argument("--flows", type=int, help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
+    if args.streaming_child:
+        print(json.dumps(streaming_replay_child(args.streaming_child, args.flows)))
+        return {}
     if args.check:
         check_against_committed(args.out)
         return {}
@@ -937,6 +1069,15 @@ def main(argv: Optional[List[str]] = None) -> Dict:
             f"array {row['array_seconds']:.3f}s, speedup {row['speedup']:.1f}x, "
             f"max fct diff {row['max_rel_fct_diff']:.2e}"
         )
+    streaming = results["streaming_replay"]
+    print(
+        f"streaming replay {streaming['flows']:>6} flows: streamed in "
+        f"{streaming['streaming_seconds']:.1f}s vs post-hoc "
+        f"{streaming['posthoc_seconds']:.1f}s, p50/p99 rel error "
+        f"{streaming['p50_rel_error']:.2e}/{streaming['p99_rel_error']:.2e}, "
+        f"maxrss {streaming['streaming_maxrss_kb'] / 1024:.0f}MB streamed vs "
+        f"{streaming['posthoc_maxrss_kb'] / 1024:.0f}MB materialized"
+    )
     if "fig5_paper_scale" in results:
         fig5 = results["fig5_paper_scale"]
         print(

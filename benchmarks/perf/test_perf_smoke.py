@@ -123,6 +123,44 @@ def test_smoke_covers_flow_level(smoke_results):
 
 
 @pytest.mark.perf_smoke
+def test_smoke_covers_streaming_replay(smoke_results):
+    """Streaming vs post-hoc replay: all flows complete, quantiles within
+    the 1% gate, both subprocess sides timed and RSS-sampled."""
+    results, written = smoke_results
+    row = results["streaming_replay"]
+    assert row["completed"] == row["flows"]
+    assert row["max_rel_quantile_diff"] < run_bench.STREAMING_PARITY_TOLERANCE
+    assert row["streaming_seconds"] > 0 and row["posthoc_seconds"] > 0
+    assert row["streaming_maxrss_kb"] > 0 and row["posthoc_maxrss_kb"] > 0
+    assert row["utilization_windows"] > 0
+    assert written["streaming_replay"] == row
+
+
+@pytest.mark.perf_smoke
+def test_parity_enforcement_covers_streaming_replay():
+    base = _empty_results(
+        streaming_replay={
+            "flows": 1500,
+            "max_rel_quantile_diff": 0.05,
+            "streaming_maxrss_kb": 1,
+            "posthoc_maxrss_kb": 2,
+        }
+    )
+    with pytest.raises(RuntimeError, match="streaming_replay at 1500 flows"):
+        run_bench.enforce_parity(base)
+    base = _empty_results(
+        streaming_replay={
+            "flows": 100_000,
+            "max_rel_quantile_diff": 0.0,
+            "streaming_maxrss_kb": 3,
+            "posthoc_maxrss_kb": 2,
+        }
+    )
+    with pytest.raises(RuntimeError, match="streaming_replay_rss at 100000 flows"):
+        run_bench.enforce_parity(base)
+
+
+@pytest.mark.perf_smoke
 def test_smoke_covers_compiled_maxmin_and_engine(smoke_results):
     results, _ = smoke_results
     for row in results["maxmin"]:

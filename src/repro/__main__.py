@@ -5,6 +5,9 @@ Usage::
     python -m repro list [--tag TAG]
     python -m repro run <scenario> [--engine ENGINE] [--seed SEED]
                         [--scale {toy,paper}] [--quiet]
+                        [--export TRACE.csv] [--stream]
+                        [--checkpoint PATH] [--checkpoint-every SECONDS]
+                        [--fresh]
     python -m repro sweep '<scenario> axis=values ...' [--engine ENGINE]
                           [--scale {toy,paper}] [--serial] [--workers N]
                           [--timeout SECONDS] [--retries N]
@@ -16,6 +19,16 @@ prints the resulting table; ``sweep`` expands a grid expression such as
 ``'fig5/websearch load=0.3:0.9:0.1 scheme=numfabric,dctcp seed=0..9'``
 into cells and executes them through the fault-tolerant sweep fabric
 (:mod:`repro.sweep`), resuming from the content-addressed cache.
+
+``run`` extras: ``--export trace.csv`` writes the scenario's generated
+arrival schedule as a replayable CSV trace (streamed -- works at any
+size) instead of executing; ``--stream`` runs through the bounded-memory
+streaming result layer (one telemetry summary row instead of a per-flow
+dump); ``--checkpoint PATH`` additionally checkpoints run state
+atomically every ``--checkpoint-every`` simulated seconds and resumes
+from an existing checkpoint (``--fresh`` ignores one).  With a
+checkpoint, the first SIGINT stops *after* the next checkpoint write and
+prints the resume hint.
 
 Both ``run`` and ``sweep`` stop gracefully on the first SIGINT/SIGTERM
 (flushing completed cells and printing a resume hint) and force-exit on
@@ -51,6 +64,23 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_export(args: argparse.Namespace, spec) -> int:
+    from repro.scenarios.materialize import build_fluid_topology, stream_arrivals
+    from repro.workloads.trace import write_trace
+
+    try:
+        if args.engine is not None or args.seed is not None:
+            spec = spec.using(engine=args.engine, seed=args.seed)
+        topo = build_fluid_topology(spec)
+        count = write_trace(stream_arrivals(spec, topo), args.export)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"exported {count} arrival(s) from {spec.name} to {args.export}")
+    print(f"replay with: python -m repro run trace/replay  (trace={args.export})")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.sweep.signals import GracefulInterrupt, SweepInterrupted
 
@@ -59,9 +89,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    if args.export:
+        return _cmd_export(args, spec)
+    streaming = args.stream or args.checkpoint is not None
+    interrupted = False
     try:
-        with GracefulInterrupt(on_first="raise"):
-            result = run_scenario(spec, engine=args.engine, seed=args.seed)
+        if args.checkpoint is not None:
+            from repro.scenarios import run_scenario_streaming
+
+            hint = f"checkpoint saved; rerun the same command to resume from {args.checkpoint}"
+            with GracefulInterrupt(on_first="flag", hint=hint) as interrupt:
+                result = run_scenario_streaming(
+                    spec,
+                    engine=args.engine,
+                    seed=args.seed,
+                    checkpoint_path=args.checkpoint,
+                    checkpoint_every=args.checkpoint_every,
+                    resume=not args.fresh,
+                    should_stop=lambda: interrupt.requested,
+                )
+            interrupted = bool(result.artifacts.get("interrupted"))
+        elif streaming:
+            from repro.scenarios import run_scenario_streaming
+
+            with GracefulInterrupt(on_first="raise"):
+                result = run_scenario_streaming(spec, engine=args.engine, seed=args.seed)
+        else:
+            with GracefulInterrupt(on_first="raise"):
+                result = run_scenario(spec, engine=args.engine, seed=args.seed)
     except SweepInterrupted:
         print("run interrupted; no result computed.", file=sys.stderr)
         return GracefulInterrupt.EXIT_CODE
@@ -76,6 +131,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         print(result)
         print(f"\n(engine={result.artifacts['engine']}, rows={len(result.rows)})")
+    if interrupted:
+        print(
+            f"run interrupted; resume from the checkpoint at {args.checkpoint}.",
+            file=sys.stderr,
+        )
+        return GracefulInterrupt.EXIT_CODE
     return 0
 
 
@@ -172,6 +233,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--quiet", action="store_true", help="print a one-line summary instead of the table"
+    )
+    run_parser.add_argument(
+        "--export",
+        metavar="TRACE.csv",
+        help="write the scenario's arrival schedule as a replayable CSV trace "
+        "(streamed; does not execute the scenario)",
+    )
+    run_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="run through the bounded-memory streaming result layer "
+        "(flow engine; one telemetry summary row instead of per-flow rows)",
+    )
+    run_parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="stream with periodic atomic checkpoints at PATH; an existing "
+        "checkpoint is resumed (implies --stream)",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=5e-3,
+        metavar="SECONDS",
+        help="simulated seconds between checkpoints (default: 0.005)",
+    )
+    run_parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore an existing checkpoint and start over",
     )
     run_parser.set_defaults(func=_cmd_run)
 

@@ -5,8 +5,18 @@ from repro.analysis.convergence import ewma_filter, measure_convergence_time
 from repro.analysis.deviation import bin_by_bdp, normalized_deviation, DeviationBin
 from repro.analysis.fct import FctRecord, FctSummary, ideal_fct, normalized_fct, summarize_fcts
 from repro.analysis.resilience import ResilienceReport, jain_index, resilience_report
+from repro.analysis.streaming import (
+    GKQuantiles,
+    P2Quantile,
+    StreamingMoments,
+    WindowedUtilization,
+)
 
 __all__ = [
+    "GKQuantiles",
+    "P2Quantile",
+    "StreamingMoments",
+    "WindowedUtilization",
     "ResilienceReport",
     "jain_index",
     "resilience_report",

@@ -36,7 +36,7 @@ Two interchangeable backends drive :class:`FlowLevelSimulation`:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 import numpy as np
 
@@ -243,8 +243,23 @@ class SimulatorRatePolicy(RatePolicy):
 
     def _ensure(self, network: FluidNetwork):
         if self._simulator is None:
+            if self.simulator_factory is None:
+                raise RuntimeError(
+                    "SimulatorRatePolicy restored from a checkpoint before its "
+                    "simulator was built; rebuild the policy from the spec "
+                    "(no simulator state existed to lose)"
+                )
             self._simulator = self.simulator_factory(network)
         return self._simulator
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The factory is a closure (unpicklable); the live simulator --
+        # which holds all the state the factory would have created -- is
+        # picklable and rides along.  After restore the factory is only
+        # needed if the simulator was never built (see ``_ensure``).
+        state = self.__dict__.copy()
+        state["simulator_factory"] = None
+        return state
 
     def on_flow_set_changed(self, network: FluidNetwork) -> None:
         self._ensure(network)
@@ -294,6 +309,51 @@ def scheme_rate_policy(
     )
 
 
+class ArrivalStream:
+    """One-ahead cursor over a (time-sorted) arrival iterable.
+
+    The streaming loop only ever needs the *next* arrival, so this wrapper
+    buffers exactly one record -- a million-flow trace is never
+    materialized.  ``consumed`` counts records handed out, which is all a
+    checkpoint needs to reconstruct the cursor: rebuild the iterator from
+    its deterministic source and pass ``skip=consumed``.
+
+    The stream itself is deliberately *not* picklable (it wraps a live
+    iterator); :mod:`repro.scenarios.runner` checkpoints ``consumed``
+    instead.
+    """
+
+    __slots__ = ("_iterator", "_head", "_exhausted", "consumed")
+
+    def __init__(self, arrivals: Iterable[FlowArrival], skip: int = 0):
+        self._iterator: Iterator[FlowArrival] = iter(arrivals)
+        self._head: Optional[FlowArrival] = None
+        self._exhausted = False
+        self.consumed = 0
+        for _ in range(skip):
+            if self.next() is None:
+                raise ValueError(
+                    f"arrival stream ended after {self.consumed} record(s); "
+                    f"cannot skip {skip} (checkpoint does not match this trace)"
+                )
+
+    def peek(self) -> Optional[FlowArrival]:
+        """The next arrival without consuming it, or ``None`` at the end."""
+        if self._head is None and not self._exhausted:
+            self._head = next(self._iterator, None)
+            if self._head is None:
+                self._exhausted = True
+        return self._head
+
+    def next(self) -> Optional[FlowArrival]:
+        """Consume and return the next arrival, or ``None`` at the end."""
+        head = self.peek()
+        if head is not None:
+            self._head = None
+            self.consumed += 1
+        return head
+
+
 class FlowLevelSimulation:
     """Run a dynamic workload at flow level under a given rate policy."""
 
@@ -322,6 +382,14 @@ class FlowLevelSimulation:
         )
         self.utility_for_arrival = utility_for_arrival or (lambda arrival: LogUtility())
         self.backend = backend
+        #: Optional completion sink called once per finished flow (streaming
+        #: telemetry).  With ``keep_completions=False`` the per-flow record
+        #: is *not* appended to :attr:`completed` -- memory stays bounded.
+        self.on_complete: Optional[Callable[[CompletedFlow], None]] = None
+        self.keep_completions = True
+        #: Simulated-time position of the streaming loop (:meth:`run_stream`
+        #: resumes from here; checkpointed alongside the slot arrays).
+        self._time = 0.0
         self.completed: List[CompletedFlow] = []
         # dict-backend state (the parity reference).
         self._remaining_bytes: Dict[int, float] = {}
@@ -379,6 +447,63 @@ class FlowLevelSimulation:
         if self.fault_injector.apply_until(self.network.set_capacity, time):
             self._on_capacity_changed(self.network)
 
+    def _emit(self, flow: CompletedFlow) -> None:
+        """Route one completion to the configured sinks."""
+        if self.keep_completions:
+            self.completed.append(flow)
+        if self.on_complete is not None:
+            self.on_complete(flow)
+
+    # -- pickling (checkpoint support) -------------------------------------
+    #
+    # ``path_for_arrival`` / ``utility_for_arrival`` / ``on_complete`` are
+    # closures over topology and telemetry objects -- unpicklable, and
+    # cheaply reconstructible from the :class:`~repro.scenarios.spec
+    # .ScenarioSpec` that built them.  Everything else (slot arrays, the
+    # network, the rate policy with its warm solver state, the fault
+    # cursor, ``_time``) pickles as one object graph, so shared references
+    # (the policy's network is *this* network) survive the round trip.
+    # After restore, call :meth:`rebind` before resuming.
+
+    _UNPICKLABLE = ("path_for_arrival", "utility_for_arrival", "on_complete",
+                    "_on_capacity_changed", "_rates_epoch")
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        for name in self._UNPICKLABLE:
+            state[name] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._on_capacity_changed = getattr(
+            self.rate_policy, "on_capacity_changed", self.rate_policy.on_flow_set_changed
+        )
+        self._rates_epoch = getattr(self.rate_policy, "rates_epoch", lambda: None)
+
+    def rebind(
+        self,
+        path_for_arrival: Callable[[FlowArrival], tuple],
+        utility_for_arrival: Optional[Callable[[FlowArrival], Utility]] = None,
+        on_complete: Optional[Callable[[CompletedFlow], None]] = None,
+        rate_policy: Optional[RatePolicy] = None,
+    ) -> None:
+        """Re-attach the closures dropped by :meth:`__getstate__`.
+
+        ``rate_policy`` replaces the restored policy wholesale -- used when
+        the checkpointed policy never built its simulator (so no state
+        existed) and must be rebuilt fresh from the spec.
+        """
+        self.path_for_arrival = path_for_arrival
+        self.utility_for_arrival = utility_for_arrival or (lambda arrival: LogUtility())
+        self.on_complete = on_complete
+        if rate_policy is not None:
+            self.rate_policy = rate_policy
+        self._on_capacity_changed = getattr(
+            self.rate_policy, "on_capacity_changed", self.rate_policy.on_flow_set_changed
+        )
+        self._rates_epoch = getattr(self.rate_policy, "rates_epoch", lambda: None)
+
     # -- dict backend (parity reference) ----------------------------------
 
     def _run_dict(
@@ -424,7 +549,7 @@ class FlowLevelSimulation:
             time += dt
             if finished:
                 for flow_id in finished:
-                    self.completed.append(
+                    self._emit(
                         CompletedFlow(
                             flow_id=flow_id,
                             size_bytes=self._sizes[flow_id],
@@ -524,7 +649,7 @@ class FlowLevelSimulation:
             if finished.any():
                 for slot in np.nonzero(finished)[0].tolist():
                     flow_id = self._slots[slot]
-                    self.completed.append(
+                    self._emit(
                         CompletedFlow(
                             flow_id=flow_id,
                             size_bytes=int(self._sizes_arr[slot]),
@@ -537,3 +662,84 @@ class FlowLevelSimulation:
                 self.rate_policy.on_flow_set_changed(self.network)
 
         return self.completed
+
+    # -- streaming loop (bounded memory, resumable) -------------------------
+
+    def run_stream(
+        self,
+        stream: ArrivalStream,
+        max_time: Optional[float] = None,
+        stop_at: Optional[float] = None,
+    ) -> bool:
+        """Advance the simulation over a lazy arrival stream.
+
+        The bounded-memory counterpart of :meth:`run`: arrivals are pulled
+        one at a time from ``stream`` (which must be time-sorted -- see
+        :class:`ArrivalStream`), completions are routed through
+        :attr:`on_complete`, and with ``keep_completions=False`` nothing is
+        accumulated per flow.  Step arithmetic is identical to the array
+        backend of :meth:`run`, so an all-list run and a streamed run of
+        the same schedule produce bit-identical completion records.
+
+        ``stop_at`` pauses the loop at the first step boundary at or after
+        that simulated time and returns ``False`` (resume by calling again
+        -- the time cursor persists in ``_time``, surviving checkpoint
+        pickling).  Returns ``True`` when the run is finished: the horizon
+        was reached or every admitted flow completed and the stream is
+        exhausted.
+        """
+        if self.backend != "array":
+            raise ValueError(
+                'run_stream requires backend="array" (the dict backend is the '
+                "materializing parity reference)"
+            )
+        horizon = max_time if max_time is not None else float("inf")
+        limit = stop_at if stop_at is not None else float("inf")
+        dt = self.step_interval
+        time = self._time
+
+        while time < horizon and (stream.peek() is not None or self._count):
+            if time >= limit:
+                self._time = time
+                return False
+            self._inject_faults(time)
+            changed = False
+            while (head := stream.peek()) is not None and head.time <= time:
+                arrival = stream.next()
+                self._admit(arrival)
+                self._append_flow(arrival)
+                changed = True
+            if changed:
+                self.rate_policy.on_flow_set_changed(self.network)
+
+            if not self._count:
+                head = stream.peek()
+                if head is not None:
+                    time = head.time
+                    continue
+                break
+
+            rates = self.rate_policy.rates(self.network, dt)
+            rate_vec = self._gather_rates(rates)
+            remaining = self._remaining[: self._count]
+            # Identical per-element arithmetic to ``_run_array``.
+            remaining -= rate_vec * dt / 8.0
+            time += dt
+            finished = remaining <= 0.0
+            if finished.any():
+                for slot in np.nonzero(finished)[0].tolist():
+                    flow_id = self._slots[slot]
+                    self._emit(
+                        CompletedFlow(
+                            flow_id=flow_id,
+                            size_bytes=int(self._sizes_arr[slot]),
+                            start_time=float(self._starts[slot]),
+                            finish_time=time,
+                        )
+                    )
+                    self.network.remove_flow(flow_id)
+                self._compact(~finished)
+                self.rate_policy.on_flow_set_changed(self.network)
+
+        self._time = time
+        return True

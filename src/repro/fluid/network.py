@@ -87,6 +87,23 @@ class FluidNetwork:
         # instead of rebuilding their incidence structure per event.
         self._journal: deque = deque(maxlen=_JOURNAL_LIMIT)
 
+    # -- pickling ---------------------------------------------------------
+    #
+    # ``_capacities_view`` is a ``MappingProxyType`` (unpicklable by
+    # design); drop it on the way out and rebuild it over the restored
+    # ``_capacities`` dict on the way in.  This is what lets a live
+    # network ride inside run checkpoints (scenarios.runner) and the
+    # sweep cache.
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        del state["_capacities_view"]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._capacities_view = MappingProxyType(self._capacities)
+
     # -- links ------------------------------------------------------------
 
     @property

@@ -8,7 +8,9 @@ runner fills them with engine-native rows plus raw ``artifacts``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.streaming import GKQuantiles, StreamingMoments, WindowedUtilization
 
 
 @dataclass
@@ -44,6 +46,118 @@ class ExperimentResult:
         table = format_table(self.rows)
         notes = f"\n{self.notes}" if self.notes else ""
         return f"{header}\n{table}{notes}"
+
+
+@dataclass
+class StreamingResult:
+    """Bounded-memory companion to :class:`ExperimentResult`.
+
+    Where :class:`ExperimentResult` accumulates one row per flow — fine
+    for 10k flows, wrong for a day-long million-flow trace — a
+    ``StreamingResult`` folds each completion into online telemetry the
+    moment it happens and then forgets the flow:
+
+    * FCT and slowdown (FCT / ideal-FCT, the streaming stand-in for the
+      post-hoc deviation statistics) quantiles via a Greenwald-Khanna
+      sketch (:class:`repro.analysis.streaming.GKQuantiles`, rank error
+      ``<= epsilon * n``);
+    * single-pass moments (count / mean / variance / min / max) for both;
+    * windowed delivered-bytes throughput and utilization
+      (:class:`repro.analysis.streaming.WindowedUtilization`).
+
+    State is O(sketch size + number of windows), independent of flow
+    count, and everything is picklable so the telemetry rides inside run
+    checkpoints and resumes bit-identically.  ``summary()`` /
+    ``to_result()`` reduce the telemetry to the flat-row form the rest of
+    the toolchain (sweep driver, CLI printer) already speaks.
+    """
+
+    experiment_id: str
+    title: str
+    epsilon: float = 2.5e-4
+    utilization_window: float = 1e-3
+    capacity_bps: Optional[float] = None
+    notes: str = ""
+    flows_completed: int = 0
+    bytes_delivered: float = 0.0
+    fct_sketch: GKQuantiles = None  # type: ignore[assignment]
+    slowdown_sketch: GKQuantiles = None  # type: ignore[assignment]
+    fct_moments: StreamingMoments = field(default_factory=StreamingMoments)
+    slowdown_moments: StreamingMoments = field(default_factory=StreamingMoments)
+    utilization: WindowedUtilization = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.fct_sketch is None:
+            self.fct_sketch = GKQuantiles(epsilon=self.epsilon)
+        if self.slowdown_sketch is None:
+            self.slowdown_sketch = GKQuantiles(epsilon=self.epsilon)
+        if self.utilization is None:
+            self.utilization = WindowedUtilization(
+                window=self.utilization_window, capacity_bps=self.capacity_bps
+            )
+
+    def observe(
+        self,
+        fct: float,
+        size_bytes: float,
+        finish_time: float,
+        slowdown: Optional[float] = None,
+    ) -> None:
+        """Fold one completed flow into the telemetry (O(1) amortized)."""
+        self.flows_completed += 1
+        self.bytes_delivered += size_bytes
+        self.fct_sketch.add(fct)
+        self.fct_moments.add(fct)
+        if slowdown is not None:
+            self.slowdown_sketch.add(slowdown)
+            self.slowdown_moments.add(slowdown)
+        self.utilization.add(finish_time, size_bytes)
+
+    def fct_quantile(self, q: float) -> float:
+        return self.fct_sketch.query(q)
+
+    def slowdown_quantile(self, q: float) -> float:
+        return self.slowdown_sketch.query(q)
+
+    def summary(self) -> Dict[str, Any]:
+        """One flat dict of headline telemetry (a sweep-cell summary row)."""
+        row: Dict[str, Any] = {
+            "flows_completed": self.flows_completed,
+            "bytes_delivered": self.bytes_delivered,
+        }
+        if self.flows_completed:
+            row.update(
+                fct_mean=self.fct_moments.mean,
+                fct_p50=self.fct_sketch.query(0.5),
+                fct_p99=self.fct_sketch.query(0.99),
+                fct_max=self.fct_moments.max,
+            )
+        if self.slowdown_moments.count:
+            row.update(
+                slowdown_mean=self.slowdown_moments.mean,
+                slowdown_p50=self.slowdown_sketch.query(0.5),
+                slowdown_p99=self.slowdown_sketch.query(0.99),
+            )
+        return row
+
+    def to_result(self) -> "ExperimentResult":
+        """Reduce to an :class:`ExperimentResult`: one summary row plus
+        the per-window utilization table as an artifact."""
+        result = ExperimentResult(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            notes=self.notes,
+        )
+        if self.flows_completed:
+            result.add_row(**self.summary())
+        result.artifacts["streaming"] = self
+        result.artifacts["utilization_windows"] = self.utilization.finish()
+        return result
+
+    def __str__(self) -> str:
+        header = f"[{self.experiment_id}] {self.title} (streaming)"
+        table = format_table([self.summary()]) if self.flows_completed else "(no flows)"
+        return f"{header}\n{table}"
 
 
 def format_table(rows: Sequence[Dict[str, Any]], float_format: str = "{:.4g}") -> str:

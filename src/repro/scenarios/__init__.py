@@ -68,7 +68,12 @@ from repro.scenarios.faults import (
     LinkRestore,
     fault_plan,
 )
-from repro.scenarios.runner import run_scenario
+from repro.scenarios.runner import (
+    load_checkpoint,
+    run_scenario,
+    run_scenario_streaming,
+    write_checkpoint,
+)
 from repro.scenarios.spec import (
     ENGINES,
     ObjectiveSpec,
@@ -88,6 +93,9 @@ __all__ = [
     "FlowSpec",
     "GroupSpec",
     "run_scenario",
+    "run_scenario_streaming",
+    "load_checkpoint",
+    "write_checkpoint",
     "FaultPlan",
     "fault_plan",
     "LinkFail",

@@ -31,7 +31,7 @@ from repro.workloads.distributions import (
 from repro.workloads.hotspot import HotspotTrafficGenerator
 from repro.workloads.incast import IncastTrafficGenerator
 from repro.workloads.poisson import FlowArrival, PoissonTrafficGenerator
-from repro.workloads.trace import arrivals_from_trace
+from repro.workloads.trace import arrivals_from_trace, iter_arrivals_from_trace
 
 # -- fluid topologies -------------------------------------------------------
 
@@ -233,12 +233,16 @@ def workload_seed(spec: ScenarioSpec) -> Optional[int]:
     return spec.workload.get("seed") if spec.workload.get("seed") is not None else spec.seed
 
 
-def materialize_arrivals(spec: ScenarioSpec, topo: FluidTopology) -> List[FlowArrival]:
-    """Realize an arrival-based workload spec into a flow-arrival list."""
+def _poisson_like_generator(spec: ScenarioSpec, topo: FluidTopology):
+    """Build the seeded poisson/hotspot generator plus its flow budget.
+
+    Shared by the materializing and streaming arrival paths so both
+    realize the *same* deterministic sequence for a given spec + seed.
+    """
     workload = spec.workload
     seed = workload_seed(spec)
     num_servers = workload.get("num_servers") or topo.num_servers
-    if num_servers is None and workload.kind in ("poisson", "hotspot", "incast"):
+    if num_servers is None:
         raise ValueError(
             f"workload {workload.kind!r} needs server endpoints; topology "
             f"{spec.topology.kind!r} does not define them (set num_servers on the workload)"
@@ -252,8 +256,7 @@ def materialize_arrivals(spec: ScenarioSpec, topo: FluidTopology) -> List[FlowAr
             link_rate=link_rate,
             seed=seed,
         )
-        arrivals = generator.generate(max_flows=workload.get("num_flows", 120))
-    elif workload.kind == "hotspot":
+    else:
         generator = HotspotTrafficGenerator(
             num_servers=num_servers,
             size_distribution=_size_distribution(workload.get("workload", "websearch")),
@@ -264,7 +267,22 @@ def materialize_arrivals(spec: ScenarioSpec, topo: FluidTopology) -> List[FlowAr
             link_rate=link_rate,
             seed=seed,
         )
-        arrivals = generator.generate(max_flows=workload.get("num_flows", 120))
+    return generator, workload.get("num_flows", 120)
+
+
+def materialize_arrivals(spec: ScenarioSpec, topo: FluidTopology) -> List[FlowArrival]:
+    """Realize an arrival-based workload spec into a flow-arrival list."""
+    workload = spec.workload
+    seed = workload_seed(spec)
+    num_servers = workload.get("num_servers") or topo.num_servers
+    if num_servers is None and workload.kind in ("poisson", "hotspot", "incast"):
+        raise ValueError(
+            f"workload {workload.kind!r} needs server endpoints; topology "
+            f"{spec.topology.kind!r} does not define them (set num_servers on the workload)"
+        )
+    if workload.kind in ("poisson", "hotspot"):
+        generator, max_flows = _poisson_like_generator(spec, topo)
+        arrivals = generator.generate(max_flows=max_flows)
     elif workload.kind == "incast":
         size_distribution = workload.get("size_distribution")
         if isinstance(size_distribution, str):
@@ -308,6 +326,57 @@ def materialize_arrivals(spec: ScenarioSpec, topo: FluidTopology) -> List[FlowAr
             for a in arrivals
         ]
     return arrivals
+
+
+def stream_arrivals(spec: ScenarioSpec, topo: FluidTopology):
+    """Lazy counterpart of :func:`materialize_arrivals` for streaming runs.
+
+    Returns a time-sorted iterator of :class:`FlowArrival` records without
+    ever materializing the full schedule:
+
+    * ``poisson`` / ``hotspot`` workloads yield straight from the seeded
+      generator's lazy ``arrivals()`` clock (monotone by construction);
+    * ``trace`` workloads stream the file via
+      :func:`~repro.workloads.trace.iter_arrivals_from_trace` (the trace
+      must be time-sorted -- an out-of-order record raises with its line
+      number);
+    * ``incast`` / ``semidynamic`` workloads are bounded by construction
+      (waves/events), so they materialize and sort, then iterate.
+
+    Determinism contract: for a given spec + seed this yields exactly the
+    sequence :func:`materialize_arrivals` would produce (post-sort), which
+    is what lets a checkpoint record just a consumed-count and resume by
+    rebuilding the stream and skipping.
+    """
+    workload = spec.workload
+    kind = workload.kind
+    cap = workload.get("size_cap_bytes")
+
+    def capped(iterator):
+        if cap is None:
+            yield from iterator
+            return
+        for a in iterator:
+            if a.size_bytes > cap:
+                a = FlowArrival(
+                    flow_id=a.flow_id,
+                    time=a.time,
+                    source=a.source,
+                    destination=a.destination,
+                    size_bytes=cap,
+                )
+            yield a
+
+    if kind in ("poisson", "hotspot"):
+        generator, max_flows = _poisson_like_generator(spec, topo)
+        return capped(generator.arrivals(max_flows=max_flows))
+    if kind == "trace":
+        return capped(iter_arrivals_from_trace(workload.get("trace")))
+    # Bounded workloads: reuse the materializing path (which also applies
+    # the size cap) and make the ordering contract explicit.
+    arrivals = materialize_arrivals(spec, topo)
+    arrivals.sort(key=lambda a: a.time)
+    return iter(arrivals)
 
 
 ARRIVAL_WORKLOADS = ("poisson", "hotspot", "incast", "trace")

@@ -16,6 +16,15 @@ Artifacts by engine:
   with a fault plan additionally ``resilience`` (the
   :func:`~repro.analysis.resilience.resilience_report` dict),
   ``post_fault_oracle`` and -- for control-plane faults -- ``control_drops``;
+* ``fluid`` (semidynamic): ``convergence_seconds`` (one per event),
+  ``events`` (the event records);
+* ``flow``: ``completions`` (:class:`CompletedFlow` list), ``arrivals``;
+* ``flow`` with ``streaming=True`` (or :func:`run_scenario_streaming`):
+  ``streaming`` (the live :class:`~repro.results.StreamingResult`),
+  ``utilization_windows``, ``arrivals_consumed`` -- and **no** per-flow
+  dump, so memory stays bounded on long-horizon replays;
+* ``packet``: ``completions`` (:class:`FlowCompletion` list),
+  ``arrivals`` and the live ``network`` (monitors, ports, queues).
 
 A spec's :class:`~repro.scenarios.faults.FaultPlan` is compiled once per
 run and injected into whichever engine executes: the fluid engine merges it
@@ -24,18 +33,17 @@ the flow engine applies it at step boundaries through a
 :class:`~repro.scenarios.faults.CapacityInjector`, and the packet engine
 schedules ``OutputPort.set_rate`` events on the ports realizing the
 faulted fluid links.
-* ``fluid`` (semidynamic): ``convergence_seconds`` (one per event),
-  ``events`` (the event records);
-* ``flow``: ``completions`` (:class:`CompletedFlow` list), ``arrivals``;
-* ``packet``: ``completions`` (:class:`FlowCompletion` list),
-  ``arrivals`` and the live ``network`` (monitors, ports, queues).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
-from repro.results import ExperimentResult
+from repro.results import ExperimentResult, StreamingResult
 from repro.fluid.convergence import ConvergenceCriterion, convergence_iterations
 from repro.fluid.dctcp import DctcpFluidSimulator
 from repro.fluid.dgd import DgdFluidSimulator
@@ -51,6 +59,7 @@ from repro.scenarios.materialize import (
     build_semidynamic,
     materialize_arrivals,
     populate_static_flows,
+    stream_arrivals,
     utility_for_arrival_factory,
 )
 from repro.scenarios.spec import (
@@ -83,6 +92,14 @@ def run_scenario(
     ``engine``/``seed``/``scheme``/``objective``/``sizing`` override the
     spec without mutating it; the engine must be one the spec declares
     support for.
+
+    >>> from repro.scenarios import get_scenario
+    >>> result = run_scenario(get_scenario("unit/dumbbell-websearch"),
+    ...                       engine="flow", seed=1)
+    >>> len(result.rows)
+    24
+    >>> sorted(result.rows[0])
+    ['average_rate_bps', 'fct', 'finish_time', 'flow', 'size_bytes', 'start_time']
     """
     overrides = engine is not None or seed is not None or scheme is not None
     if overrides or objective is not None or sizing:
@@ -316,42 +333,59 @@ def _run_fluid_semidynamic(
 # -- flow engine ------------------------------------------------------------
 
 
-def _run_flow(spec: ScenarioSpec, result: ExperimentResult) -> None:
-    from repro.experiments.dynamic_fluid import (
-        FlowLevelSimulation,
-        OracleRatePolicy,
-        scheme_rate_policy,
-    )
-
+def _check_flow_workload(spec: ScenarioSpec) -> None:
     if spec.workload.kind not in ARRIVAL_WORKLOADS + ("semidynamic",):
         raise ValueError(
             f"workload kind {spec.workload.kind!r} does not produce sized arrivals "
             "for the flow engine"
         )
-    topo = build_fluid_topology(spec)
-    arrivals = materialize_arrivals(spec, topo)
+
+
+def _flow_policy_factory(spec: ScenarioSpec) -> Callable[[], object]:
+    """A zero-argument factory for the spec's rate policy.
+
+    The factory (rather than a policy instance) is what checkpoint resume
+    needs: a restored :class:`SimulatorRatePolicy` that never built its
+    simulator carries no state and is rebuilt fresh from the spec.
+    """
+    from repro.experiments.dynamic_fluid import OracleRatePolicy, scheme_rate_policy
+
     if spec.scheme.name == "Oracle":
-        policy = OracleRatePolicy(**dict(spec.scheme.options))
-    else:
-        policy = scheme_rate_policy(
-            spec.scheme.name, backend=spec.scheme.backend, params=spec.scheme.params
-        )
-    utility_for = utility_for_arrival_factory(spec.objective)
+        options = dict(spec.scheme.options)
+        return lambda: OracleRatePolicy(**options)
+    return lambda: scheme_rate_policy(
+        spec.scheme.name, backend=spec.scheme.backend, params=spec.scheme.params
+    )
+
+
+def _build_flow_simulation(spec: ScenarioSpec, topo: FluidTopology):
+    from repro.experiments.dynamic_fluid import FlowLevelSimulation
+
     fault_injector = None
     if spec.faults is not None:
         fault_seed = spec.seed if spec.seed is not None else 0
         fault_injector = CapacityInjector(
             spec.faults.capacity_timeline(dict(topo.network.capacities), fault_seed)
         )
-    simulation = FlowLevelSimulation(
+    return FlowLevelSimulation(
         topo.network,
         lambda arrival: topo.path_for(arrival.source, arrival.destination, arrival.flow_id),
-        policy,
+        _flow_policy_factory(spec)(),
         step_interval=spec.size("step_interval", 30e-6),
-        utility_for_arrival=utility_for,
+        utility_for_arrival=utility_for_arrival_factory(spec.objective),
         backend=spec.size("flow_backend", "array"),
         fault_injector=fault_injector,
     )
+
+
+def _run_flow(spec: ScenarioSpec, result: ExperimentResult) -> None:
+    if spec.size("streaming", False):
+        _run_flow_streaming(spec, result)
+        return
+    _check_flow_workload(spec)
+    topo = build_fluid_topology(spec)
+    arrivals = materialize_arrivals(spec, topo)
+    simulation = _build_flow_simulation(spec, topo)
     completed = simulation.run(arrivals, max_time=spec.size("max_time"))
     result.artifacts["completions"] = completed
     result.artifacts["arrivals"] = arrivals
@@ -365,6 +399,286 @@ def _run_flow(spec: ScenarioSpec, result: ExperimentResult) -> None:
             fct=flow.fct,
             average_rate_bps=flow.average_rate,
         )
+
+
+# -- flow engine, streaming (bounded memory + checkpoint/resume) ------------
+
+#: Bumped whenever the checkpoint payload layout changes; mismatched
+#: checkpoints are rejected rather than misinterpreted.
+CHECKPOINT_VERSION = 1
+
+
+def _checkpoint_fingerprint(spec: ScenarioSpec) -> str:
+    # Function-level import: ``repro.sweep`` imports ``repro.scenarios`` at
+    # package-init time, so a module-level import here would be circular.
+    from repro.sweep.cache import spec_fingerprint
+
+    return spec_fingerprint(spec)
+
+
+def write_checkpoint(path: Union[str, Path], payload: Dict) -> Path:
+    """Atomically pickle a checkpoint payload (mkstemp + ``os.replace``).
+
+    Same crash-only contract as the sweep cache: a ``kill -9`` at any
+    instant leaves either the previous complete checkpoint or the new one,
+    never a torn file.
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "run.ckpt")
+    >>> _ = write_checkpoint(path, {"version": CHECKPOINT_VERSION,
+    ...                             "spec_fingerprint": "demo", "consumed": 0})
+    >>> import pickle
+    >>> pickle.load(open(path, "rb"))["consumed"]
+    0
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_checkpoint(path: Union[str, Path], spec: ScenarioSpec) -> Dict:
+    """Read and validate a checkpoint written for exactly this spec.
+
+    Raises :class:`ValueError` if the file was written by a different
+    checkpoint format or for a different (spec, engine, seed) -- resuming
+    someone else's state would silently corrupt the run.
+
+    >>> import tempfile, os
+    >>> from repro.scenarios import get_scenario
+    >>> spec = get_scenario("fig5/websearch")
+    >>> path = os.path.join(tempfile.mkdtemp(), "run.ckpt")
+    >>> _ = write_checkpoint(path, {"version": CHECKPOINT_VERSION,
+    ...     "spec_fingerprint": _checkpoint_fingerprint(spec), "consumed": 5})
+    >>> load_checkpoint(path, spec)["consumed"]
+    5
+    >>> load_checkpoint(path, spec.using(seed=99))
+    Traceback (most recent call last):
+        ...
+    ValueError: checkpoint ... was written for a different scenario (spec fingerprint mismatch); refusing to resume
+    """
+    with open(path, "rb") as handle:
+        payload = pickle.load(handle)
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint {path} has format version {version!r}, "
+            f"expected {CHECKPOINT_VERSION}"
+        )
+    fingerprint = _checkpoint_fingerprint(spec)
+    if payload.get("spec_fingerprint") != fingerprint:
+        raise ValueError(
+            f"checkpoint {path} was written for a different scenario "
+            f"(spec fingerprint mismatch); refusing to resume"
+        )
+    return payload
+
+
+def _streaming_telemetry(spec: ScenarioSpec) -> StreamingResult:
+    return StreamingResult(
+        experiment_id=spec.name,
+        title=spec.description or spec.name,
+        epsilon=spec.size("telemetry_epsilon", 2.5e-4),
+        utilization_window=spec.size("utilization_window", 1e-3),
+        capacity_bps=spec.size("utilization_capacity_bps"),
+    )
+
+
+def _run_flow_streaming(
+    spec: ScenarioSpec,
+    result: ExperimentResult,
+    *,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    checkpoint_every: float = 5e-3,
+    resume: bool = True,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> None:
+    """The streaming flow-engine executor.
+
+    Arrivals are pulled lazily (:func:`stream_arrivals`), completions are
+    folded into a :class:`~repro.results.StreamingResult` and dropped, and
+    the result carries one summary row instead of a per-flow dump --
+    memory is bounded by the active-flow population, not the trace length.
+
+    With ``checkpoint_path``, the whole mutable state (simulation arrays,
+    network, rate-policy solver state, fault cursor, telemetry sketches,
+    arrivals-consumed count) is pickled atomically every
+    ``checkpoint_every`` simulated seconds; an existing checkpoint is
+    resumed from (validated against the spec fingerprint) and the resumed
+    run is bit-identical to an uninterrupted one.  ``should_stop`` is
+    polled at checkpoint boundaries -- returning ``True`` stops the run
+    after the checkpoint is written (the CLI wires SIGINT to this).
+    """
+    from repro.analysis.fct import ideal_fct
+    from repro.experiments.dynamic_fluid import ArrivalStream, SimulatorRatePolicy
+
+    _check_flow_workload(spec)
+    if spec.size("flow_backend", "array") != "array":
+        raise ValueError(
+            'streaming runs require flow_backend="array" (the dict backend '
+            "is the materializing parity reference)"
+        )
+    topo = build_fluid_topology(spec)
+    telemetry = _streaming_telemetry(spec)
+    sim = None
+    consumed = 0
+
+    if checkpoint_path is not None and resume and Path(checkpoint_path).exists():
+        payload = load_checkpoint(checkpoint_path, spec)
+        sim = payload["sim"]
+        telemetry = payload["telemetry"]
+        consumed = payload["consumed"]
+        result.artifacts["resumed_from"] = str(checkpoint_path)
+    if sim is None:
+        sim = _build_flow_simulation(spec, topo)
+
+    link_rate = topo.edge_link_rate
+    baseline_rtt = spec.size("baseline_rtt", 16e-6)
+
+    def on_complete(flow) -> None:
+        slowdown = flow.fct / ideal_fct(flow.size_bytes, link_rate, baseline_rtt)
+        telemetry.observe(flow.fct, flow.size_bytes, flow.finish_time, slowdown)
+
+    fresh_policy = None
+    if (
+        isinstance(sim.rate_policy, SimulatorRatePolicy)
+        and sim.rate_policy._simulator is None
+        and sim.rate_policy.simulator_factory is None
+    ):
+        fresh_policy = _flow_policy_factory(spec)()
+    sim.rebind(
+        lambda arrival: topo.path_for(arrival.source, arrival.destination, arrival.flow_id),
+        utility_for_arrival_factory(spec.objective),
+        on_complete=on_complete,
+        rate_policy=fresh_policy,
+    )
+    sim.keep_completions = False
+
+    stream = ArrivalStream(stream_arrivals(spec, topo), skip=consumed)
+    max_time = spec.size("max_time")
+    interrupted = False
+    if checkpoint_path is None:
+        sim.run_stream(stream, max_time=max_time)
+    else:
+        if checkpoint_every <= 0.0:
+            raise ValueError(f"checkpoint_every must be positive, got {checkpoint_every}")
+        while True:
+            done = sim.run_stream(
+                stream, max_time=max_time, stop_at=sim._time + checkpoint_every
+            )
+            write_checkpoint(
+                checkpoint_path,
+                {
+                    "version": CHECKPOINT_VERSION,
+                    "spec_fingerprint": _checkpoint_fingerprint(spec),
+                    "consumed": stream.consumed,
+                    "sim": sim,
+                    "telemetry": telemetry,
+                    "done": done,
+                },
+            )
+            if done:
+                break
+            if should_stop is not None and should_stop():
+                interrupted = True
+                break
+
+    result.artifacts["streaming"] = telemetry
+    result.artifacts["network"] = sim.network
+    result.artifacts["arrivals_consumed"] = stream.consumed
+    result.artifacts["active_flows"] = sim.active_flow_count
+    if checkpoint_path is not None:
+        result.artifacts["checkpoint"] = str(checkpoint_path)
+    if interrupted:
+        result.artifacts["interrupted"] = True
+        result.notes = (
+            f"interrupted at t={sim._time:.6g}s with {stream.consumed} arrival(s) "
+            f"consumed; resume from {checkpoint_path}"
+        )
+        if telemetry.flows_completed:
+            result.add_row(**telemetry.summary())
+        return
+    result.artifacts["utilization_windows"] = telemetry.utilization.finish()
+    if telemetry.flows_completed:
+        result.add_row(**telemetry.summary())
+
+
+def run_scenario_streaming(
+    spec: ScenarioSpec,
+    *,
+    engine: Optional[str] = None,
+    seed: Optional[int] = None,
+    scheme=None,
+    objective=None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    checkpoint_every: float = 5e-3,
+    resume: bool = True,
+    should_stop: Optional[Callable[[], bool]] = None,
+    **sizing,
+) -> ExperimentResult:
+    """Streaming, checkpointable counterpart of :func:`run_scenario`.
+
+    Flow-engine only.  Returns an :class:`~repro.results.ExperimentResult`
+    whose single row is the online-telemetry summary (streaming FCT and
+    slowdown quantiles, delivered bytes) and whose artifacts carry the
+    live :class:`~repro.results.StreamingResult` plus the windowed
+    utilization table; per-flow completion records are never accumulated.
+
+    ``checkpoint_path`` enables periodic atomic checkpoints every
+    ``checkpoint_every`` *simulated* seconds and resume-on-restart
+    (``resume=False`` ignores an existing file).  A resumed run is
+    bit-identical to an uninterrupted one; checkpoints written for a
+    different spec/engine/seed are rejected.  ``should_stop`` is polled at
+    checkpoint boundaries for cooperative interruption.
+
+    >>> from repro.scenarios import get_scenario
+    >>> result = run_scenario_streaming(get_scenario("unit/dumbbell-websearch"),
+    ...                                 engine="flow", seed=1)
+    >>> result.rows[0]["flows_completed"]
+    24
+    >>> "completions" in result.artifacts     # never materialized
+    False
+    >>> run_scenario_streaming(get_scenario("fig5/websearch"), engine="fluid")
+    Traceback (most recent call last):
+        ...
+    ValueError: run_scenario_streaming supports the flow engine only, got 'fluid' (the fluid/packet engines have no streaming result path yet)
+    """
+    overrides = engine is not None or seed is not None or scheme is not None
+    if overrides or objective is not None or sizing:
+        spec = spec.using(
+            engine=engine, seed=seed, scheme=scheme, objective=objective, **sizing
+        )
+    if spec.engine != ENGINE_FLOW:
+        raise ValueError(
+            f"run_scenario_streaming supports the flow engine only, got {spec.engine!r} "
+            "(the fluid/packet engines have no streaming result path yet)"
+        )
+    result = ExperimentResult(
+        experiment_id=spec.name,
+        title=spec.description or spec.name,
+        paper_reference=spec.paper_reference,
+    )
+    result.artifacts["spec"] = spec
+    result.artifacts["engine"] = spec.engine
+    _run_flow_streaming(
+        spec,
+        result,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+        should_stop=should_stop,
+    )
+    return result
 
 
 # -- packet engine ----------------------------------------------------------

@@ -16,7 +16,14 @@ The three engines (:data:`ENGINES`):
   ``repro.transports``): real queues, windows and retransmissions.
 
 Specs are frozen; use :meth:`ScenarioSpec.using` to derive variants
-(different engine, scheme, seed or sizing) without mutating the original.
+(different engine, scheme, seed or sizing) without mutating the original:
+
+>>> spec = ScenarioSpec(name="docs/example", topology="single_link",
+...                     workload="poisson", engine="flow", seed=1)
+>>> spec.using(seed=7).seed
+7
+>>> spec.seed                       # the original is untouched
+1
 """
 
 from __future__ import annotations
@@ -163,7 +170,29 @@ class ScenarioSpec:
         faults: Optional[FaultPlan] = None,
         **sizing: Any,
     ) -> "ScenarioSpec":
-        """Derive a variant spec; ``sizing`` keys merge over the originals."""
+        """Derive a variant spec; ``sizing`` keys merge over the originals.
+
+        >>> spec = ScenarioSpec(name="docs/example", topology="single_link",
+        ...                     workload="poisson", engine="flow")
+        >>> spec.using(max_time=0.5).size("max_time")
+        0.5
+        >>> spec.using(engine="packet")
+        Traceback (most recent call last):
+            ...
+        ValueError: scenario 'docs/example' does not support engine 'packet' (supported: ('flow',))
+
+        Unknown keyword arguments land in ``sizing``, **not** in the
+        workload -- workload parameters are part of the scenario's
+        identity and need :func:`dataclasses.replace`:
+
+        >>> spec.using(num_flows=50).workload.get("num_flows") is None
+        True
+        >>> from dataclasses import replace
+        >>> wider = replace(spec, workload=replace(spec.workload,
+        ...                                        params={"num_flows": 50}))
+        >>> wider.workload.get("num_flows")
+        50
+        """
         changes: dict = {}
         if faults is not None:
             changes["faults"] = faults
@@ -187,6 +216,15 @@ class ScenarioSpec:
         return replace(self, **changes)
 
     def size(self, key: str, default: Any = None) -> Any:
+        """Look up a sizing knob.
+
+        >>> ScenarioSpec(name="s", topology="single_link", workload="poisson",
+        ...              sizing={"max_time": 0.1}).size("max_time")
+        0.1
+        >>> ScenarioSpec(name="s", topology="single_link",
+        ...              workload="poisson").size("missing", 42)
+        42
+        """
         return self.sizing.get(key, default)
 
 

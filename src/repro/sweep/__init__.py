@@ -15,7 +15,27 @@ makes such sweeps a first-class, crash-only primitive:
   bit-identical parity reference.
 
 Entry points: :func:`run_sweep` (and ``python -m repro sweep`` on the
-command line).
+command line).  Grid expansion is pure and cheap, so it doubles as the
+dry-run check for a sweep expression:
+
+>>> grid = parse_sweep('fig5/websearch load=0.4,0.8 seed=0..2')
+>>> [(axis, len(values)) for axis, values in grid.axes]
+[('load', 2), ('seed', 3)]
+>>> tasks = expand_grid(grid)
+>>> len(tasks)
+6
+>>> parse_sweep('fig5/websearch bogus_axis=1')
+Traceback (most recent call last):
+    ...
+ValueError: unknown axis 'bogus_axis' ...
+
+Every task is content-addressed by the canonicalized spec plus a code
+fingerprint, so identical cells are computed once:
+
+>>> key = task_key(tasks[0].spec, tasks[0].engine, tasks[0].seed, code="demo")
+>>> len(key), key == task_key(tasks[0].spec, tasks[0].engine,
+...                           tasks[0].seed, code="demo")
+(64, True)
 """
 
 from repro.sweep.cache import (

@@ -17,7 +17,12 @@ from repro.workloads.semidynamic import (
 from repro.workloads.permutation import PermutationTraffic, permutation_pairs
 from repro.workloads.incast import IncastTrafficGenerator
 from repro.workloads.hotspot import HotspotTrafficGenerator
-from repro.workloads.trace import arrivals_from_trace, trace_from_arrivals
+from repro.workloads.trace import (
+    arrivals_from_trace,
+    iter_arrivals_from_trace,
+    trace_from_arrivals,
+    write_trace,
+)
 
 __all__ = [
     "FlowSizeDistribution",
@@ -36,5 +41,7 @@ __all__ = [
     "IncastTrafficGenerator",
     "HotspotTrafficGenerator",
     "arrivals_from_trace",
+    "iter_arrivals_from_trace",
     "trace_from_arrivals",
+    "write_trace",
 ]

@@ -25,7 +25,7 @@ import csv
 import io
 import json
 from pathlib import Path
-from typing import Iterable, List, Tuple, Union
+from typing import Iterable, Iterator, List, Tuple, Union
 
 from repro.workloads.poisson import FlowArrival
 
@@ -34,15 +34,20 @@ TraceSource = Union[str, Path, Iterable[str]]
 _REQUIRED = ("time", "source", "destination", "size_bytes")
 
 
-def _clean_lines(lines: Iterable[str]) -> List[Tuple[int, str]]:
-    """Strip blanks and comments, keeping each line's original number."""
-    cleaned = []
-    for lineno, line in enumerate(lines, start=1):
-        stripped = line.strip()
-        if not stripped or stripped.startswith("#"):
-            continue
-        cleaned.append((lineno, stripped))
-    return cleaned
+def _iter_source_lines(source: TraceSource) -> Iterator[str]:
+    """Yield raw lines from a path, inline text block or line iterable.
+
+    File sources are opened lazily and read line-by-line, so a
+    million-line trace is never held in memory at once.  The file is
+    closed when the generator is exhausted or garbage-collected.
+    """
+    if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source):
+        with open(source, "r", newline="") as handle:
+            yield from handle
+    elif isinstance(source, str):
+        yield from source.splitlines()
+    else:
+        yield from source
 
 
 def _record_to_arrival(record: dict, default_flow_id: int, lineno: int) -> FlowArrival:
@@ -84,27 +89,46 @@ def _parse_csv_row(line: str, lineno: int, fields: List[str]) -> dict:
     return {key: value.strip() for key, value in zip(fields, cells)}
 
 
-def arrivals_from_trace(source: TraceSource) -> List[FlowArrival]:
-    """Read a flow-arrival schedule from a path, text block or line iterable.
+def iter_arrivals_from_trace(
+    source: TraceSource, require_sorted: bool = True
+) -> Iterator[FlowArrival]:
+    """Stream a flow-arrival schedule one record at a time.
 
-    Returns arrivals sorted by time (stable, so file order breaks ties).
-    Raises :class:`ValueError` for malformed content, naming the offending
-    line number of the original input.
+    The bounded-memory counterpart of :func:`arrivals_from_trace`: the
+    trace is parsed lazily, so memory stays O(1) in the trace length.
+    Because a stream cannot be sorted after the fact, the schedule must
+    already be time-ordered; an out-of-order record raises
+    :class:`ValueError` with its 1-based line number unless
+    ``require_sorted=False`` (used by the materializing reader, which
+    sorts afterwards).
+
+    Format auto-detection, comment/blank skipping and line-numbered
+    errors match :func:`arrivals_from_trace` exactly.
     """
-    if isinstance(source, Path):
-        lines = source.read_text().splitlines()
-    elif isinstance(source, str):
-        # A multi-line string is inline trace content; otherwise a filename.
-        lines = source.splitlines() if "\n" in source else Path(source).read_text().splitlines()
-    else:
-        lines = list(source)
-    numbered = _clean_lines(lines)
-    if not numbered:
-        return []
+    numbered = (
+        (lineno, stripped)
+        for lineno, raw in enumerate(_iter_source_lines(source), start=1)
+        if (stripped := raw.strip()) and not stripped.startswith("#")
+    )
+    first = next(numbered, None)
+    if first is None:
+        return
 
-    arrivals: List[FlowArrival] = []
-    if numbered[0][1].startswith("{"):
-        for index, (lineno, line) in enumerate(numbered):
+    last_time = -1.0
+
+    def _checked(arrival: FlowArrival, lineno: int) -> FlowArrival:
+        nonlocal last_time
+        if require_sorted and arrival.time < last_time:
+            raise ValueError(
+                f"trace line {lineno}: arrival time {arrival.time} is out of order "
+                f"(previous arrival at {last_time}); streaming ingestion requires a "
+                f"time-sorted trace"
+            )
+        last_time = arrival.time
+        return arrival
+
+    if first[1].startswith("{"):
+        for index, (lineno, line) in enumerate(_chain_first(first, numbered)):
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
@@ -116,9 +140,9 @@ def arrivals_from_trace(source: TraceSource) -> List[FlowArrival]:
                     f"trace line {lineno}: expected a JSON object, "
                     f"got {type(record).__name__}: {line!r}"
                 )
-            arrivals.append(_record_to_arrival(record, index, lineno))
+            yield _checked(_record_to_arrival(record, index, lineno), lineno)
     else:
-        header_lineno, header = numbered[0]
+        header_lineno, header = first
         try:
             fields = [name.strip() for name in next(csv.reader([header]))]
         except csv.Error as exc:
@@ -131,9 +155,27 @@ def arrivals_from_trace(source: TraceSource) -> List[FlowArrival]:
                 f"trace line {header_lineno}: CSV header missing column(s) "
                 f"{missing}; found {fields}"
             )
-        for index, (lineno, line) in enumerate(numbered[1:]):
+        for index, (lineno, line) in enumerate(numbered):
             record = _parse_csv_row(line, lineno, fields)
-            arrivals.append(_record_to_arrival(record, index, lineno))
+            yield _checked(_record_to_arrival(record, index, lineno), lineno)
+
+
+def _chain_first(
+    first: Tuple[int, str], rest: Iterable[Tuple[int, str]]
+) -> Iterator[Tuple[int, str]]:
+    yield first
+    yield from rest
+
+
+def arrivals_from_trace(source: TraceSource) -> List[FlowArrival]:
+    """Read a flow-arrival schedule from a path, text block or line iterable.
+
+    Returns arrivals sorted by time (stable, so file order breaks ties).
+    Raises :class:`ValueError` for malformed content, naming the offending
+    line number of the original input.  For traces too large to
+    materialize, use :func:`iter_arrivals_from_trace`.
+    """
+    arrivals = list(iter_arrivals_from_trace(source, require_sorted=False))
     arrivals.sort(key=lambda a: a.time)
     return arrivals
 
@@ -153,3 +195,26 @@ def trace_from_arrivals(arrivals: Iterable[FlowArrival]) -> str:
              arrival.size_bytes]
         )
     return out.getvalue()
+
+
+def write_trace(arrivals: Iterable[FlowArrival], path: Union[str, Path]) -> int:
+    """Stream arrivals to a CSV trace file, one record at a time.
+
+    The bounded-memory counterpart of :func:`trace_from_arrivals`:
+    ``arrivals`` may be any iterable (including a lazy generator), and
+    nothing beyond the current record is held in memory.  Times are
+    written with ``repr`` so a round-trip through
+    :func:`arrivals_from_trace` is exact.  Returns the number of
+    records written.
+    """
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["flow_id", "time", "source", "destination", "size_bytes"])
+        for arrival in arrivals:
+            writer.writerow(
+                [arrival.flow_id, repr(arrival.time), arrival.source,
+                 arrival.destination, arrival.size_bytes]
+            )
+            count += 1
+    return count

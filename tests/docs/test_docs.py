@@ -1,0 +1,60 @@
+"""The docs are part of the contract: doctests must run, links must resolve.
+
+Mirrors the CI ``docs`` job so a broken example or a dead link fails
+locally before it fails on a reader.
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Modules whose docstrings carry runnable examples (the public-API
+#: docstring pass).  Add a module here and its examples become a gate.
+DOCTEST_MODULES = [
+    "repro.scenarios.spec",
+    "repro.scenarios.runner",
+    "repro.sweep",
+]
+
+DOCTEST_FLAGS = doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
+
+#: Markdown files whose relative links must resolve.
+DOC_FILES = [
+    REPO_ROOT / "README.md",
+    *sorted((REPO_ROOT / "docs").glob("*.md")),
+]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_doctests(module_name):
+    module = __import__(module_name, fromlist=["__name__"])
+    results = doctest.testmod(module, optionflags=DOCTEST_FLAGS, verbose=False)
+    assert results.attempted > 0, f"{module_name} lost its doctest examples"
+    assert results.failed == 0
+
+
+@pytest.mark.parametrize("doc_path", DOC_FILES, ids=lambda p: p.name)
+def test_no_dead_relative_links(doc_path):
+    assert doc_path.exists(), f"{doc_path} is linked from the docs job but missing"
+    dead = []
+    for target in _LINK.findall(doc_path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue  # external; not checked offline
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue  # pure in-page anchor
+        if not (doc_path.parent / relative).exists():
+            dead.append(target)
+    assert not dead, f"dead link(s) in {doc_path.name}: {dead}"
+
+
+def test_docs_directory_is_linked_from_readme():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/METRICS.md" in readme

@@ -1,0 +1,82 @@
+"""Streaming trace ingestion: lazy iteration, sort enforcement, CSV export."""
+
+import pytest
+
+from repro.workloads.trace import (
+    arrivals_from_trace,
+    iter_arrivals_from_trace,
+    write_trace,
+)
+
+CSV_HEADER = "flow_id,time,source,destination,size_bytes"
+SORTED_TRACE = f"{CSV_HEADER}\n0,0.0,0,1,1000\n1,0.5,2,3,2000\n2,0.75,1,2,512\n"
+UNSORTED_TRACE = f"{CSV_HEADER}\n0,0.5,0,1,1000\n1,0.25,2,3,2000\n"
+
+
+class TestIterArrivals:
+    def test_matches_materializing_parser(self):
+        assert list(iter_arrivals_from_trace(SORTED_TRACE)) == arrivals_from_trace(
+            SORTED_TRACE
+        )
+
+    def test_file_source_matches_inline(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(SORTED_TRACE)
+        assert list(iter_arrivals_from_trace(path)) == arrivals_from_trace(SORTED_TRACE)
+
+    def test_is_lazy(self):
+        """The iterator must not consume its source up front."""
+        consumed = []
+
+        def lines():
+            for i, line in enumerate(SORTED_TRACE.splitlines()):
+                consumed.append(i)
+                yield line
+
+        iterator = iter_arrivals_from_trace(lines())
+        assert consumed == []  # nothing touched before first next()
+        first = next(iterator)
+        assert first.flow_id == 0
+        assert len(consumed) < 4  # header + ~one record, not the whole trace
+
+    def test_out_of_order_raises_with_line_number(self):
+        iterator = iter_arrivals_from_trace(UNSORTED_TRACE)
+        next(iterator)
+        with pytest.raises(ValueError, match=r"trace line 3: .*out of order"):
+            next(iterator)
+
+    def test_out_of_order_allowed_when_unchecked(self):
+        arrivals = list(iter_arrivals_from_trace(UNSORTED_TRACE, require_sorted=False))
+        assert [a.time for a in arrivals] == [0.5, 0.25]
+
+    def test_materializing_parser_still_sorts(self):
+        arrivals = arrivals_from_trace(UNSORTED_TRACE)
+        assert [a.time for a in arrivals] == [0.25, 0.5]
+
+    def test_jsonl_streams_too(self):
+        trace = (
+            '{"time": 0.0, "source": 0, "destination": 1, "size_bytes": 1000}\n'
+            '{"time": 0.5, "source": 2, "destination": 3, "size_bytes": 2000}\n'
+        )
+        assert list(iter_arrivals_from_trace(trace)) == arrivals_from_trace(trace)
+
+
+class TestWriteTrace:
+    def test_round_trip(self, tmp_path):
+        original = arrivals_from_trace(SORTED_TRACE)
+        path = tmp_path / "out.csv"
+        assert write_trace(original, path) == len(original)
+        assert arrivals_from_trace(path) == original
+
+    def test_accepts_generator_without_materializing(self, tmp_path):
+        path = tmp_path / "gen.csv"
+        count = write_trace(iter_arrivals_from_trace(SORTED_TRACE), path)
+        assert count == 3
+        assert len(arrivals_from_trace(path)) == 3
+
+    def test_times_survive_repr_precision(self, tmp_path):
+        trace = f"{CSV_HEADER}\n0,0.1,0,1,1000\n1,0.30000000000000004,2,3,2000\n"
+        original = arrivals_from_trace(trace)
+        path = tmp_path / "precise.csv"
+        write_trace(original, path)
+        assert arrivals_from_trace(path) == original
