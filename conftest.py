@@ -35,3 +35,9 @@ def pytest_configure(config):
         "timeout, kill -9 resume, sharded-vs-serial parity (deselect with "
         '-m "not sweep_smoke")',
     )
+    config.addinivalue_line(
+        "markers",
+        "remote_smoke: loopback remote-dispatch matrix -- driver + agent "
+        "subprocesses over TCP, agent SIGKILL, driver kill + resume "
+        '(deselect with -m "not remote_smoke")',
+    )

@@ -10,13 +10,20 @@ makes such sweeps a first-class, crash-only primitive:
 * :mod:`repro.sweep.executor` fans cells out over worker processes with
   timeouts, retry/backoff, quarantine and heartbeat-based dead-worker
   detection;
+* :mod:`repro.sweep.transport` abstracts the wire (worker pipes and
+  line-delimited JSON over TCP) behind one send/recv_all interface;
+* :mod:`repro.sweep.remote` leases cells to agent processes on other
+  machines (``python -m repro agent``) with wall-clock leases, dead-host
+  detection, reconnect backoff and distinct-host quarantine -- crash-only
+  across machines, with each agent's local cache as the source of truth;
 * :mod:`repro.sweep.driver` aggregates everything back into one
   :class:`~repro.results.ExperimentResult`, with a serial mode kept as the
   bit-identical parity reference.
 
-Entry points: :func:`run_sweep` (and ``python -m repro sweep`` on the
-command line).  Grid expansion is pure and cheap, so it doubles as the
-dry-run check for a sweep expression:
+Entry points: :func:`run_sweep` (and ``python -m repro sweep`` /
+``python -m repro serve-sweep`` on the command line).  Grid expansion is
+pure and cheap, so it doubles as the dry-run check for a sweep
+expression:
 
 >>> grid = parse_sweep('fig5/websearch load=0.4,0.8 seed=0..2')
 >>> [(axis, len(values)) for axis, values in grid.axes]
@@ -49,7 +56,7 @@ from repro.sweep.cache import (
     spec_fingerprint,
     task_key,
 )
-from repro.sweep.driver import SweepReport, aggregate_report, run_sweep
+from repro.sweep.driver import MODES, SweepReport, aggregate_report, run_sweep
 from repro.sweep.executor import RetryPolicy, ShardedExecutor, SweepFailure
 from repro.sweep.grid import (
     SweepGrid,
@@ -59,20 +66,44 @@ from repro.sweep.grid import (
     parse_sweep,
     tasks_from_specs,
 )
+from repro.sweep.remote import (
+    AgentFaults,
+    RemoteExecutor,
+    SweepAgent,
+    spawn_local_agents,
+)
 from repro.sweep.signals import GracefulInterrupt, SweepInterrupted
+from repro.sweep.transport import (
+    PROTOCOL_VERSION,
+    PipeTransport,
+    ProtocolError,
+    SocketTransport,
+    TransportClosed,
+    parse_host,
+    wait_readable,
+)
 
 __all__ = [
+    "AgentFaults",
     "CACHE_VERSION",
     "DEFAULT_CACHE_DIR",
     "GracefulInterrupt",
+    "MODES",
+    "PROTOCOL_VERSION",
+    "PipeTransport",
+    "ProtocolError",
+    "RemoteExecutor",
     "ResultCache",
     "RetryPolicy",
     "ShardedExecutor",
+    "SocketTransport",
+    "SweepAgent",
     "SweepFailure",
     "SweepGrid",
     "SweepInterrupted",
     "SweepReport",
     "SweepTask",
+    "TransportClosed",
     "aggregate_report",
     "canonical_scheme",
     "canonicalize",
@@ -80,9 +111,12 @@ __all__ = [
     "decode_result",
     "encode_result",
     "expand_grid",
+    "parse_host",
     "parse_sweep",
     "run_sweep",
+    "spawn_local_agents",
     "spec_fingerprint",
     "task_key",
     "tasks_from_specs",
+    "wait_readable",
 ]

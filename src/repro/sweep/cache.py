@@ -23,6 +23,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -239,6 +240,11 @@ class ResultCache:
         payload = dict(payload)
         payload.setdefault("version", CACHE_VERSION)
         payload["cache_key"] = key
+        # Stamped for garbage collection: entries from a different code
+        # version (already unreachable -- the fingerprint feeds the key) and
+        # entries older than a cutoff can be swept without inverting keys.
+        payload.setdefault("code", code_fingerprint())
+        payload.setdefault("written_at", time.time())
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
@@ -263,3 +269,73 @@ class ResultCache:
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def gc(
+        self,
+        *,
+        max_age_days: Optional[float] = None,
+        dry_run: bool = False,
+        code: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Drop stale entries; return what was (or would be) swept.
+
+        An entry is stale when it is torn/unreadable, version-skewed, was
+        written by a different code fingerprint (such entries are already
+        unreachable -- the fingerprint feeds the key), or is older than
+        ``max_age_days``.  Torn entries never raise: crash-only tolerance
+        extends to the GC itself.  ``dry_run`` reports without deleting.
+        Leftover ``*.tmp`` spills older than an hour are swept too.
+        """
+        code = code if code is not None else code_fingerprint()
+        now = now if now is not None else time.time()
+        cutoff = None if max_age_days is None else now - max_age_days * 86400.0
+        report: Dict[str, Any] = {
+            "scanned": 0,
+            "kept": 0,
+            "torn": 0,
+            "stale_code": 0,
+            "expired": 0,
+            "tmp": 0,
+            "deleted": [],
+            "dry_run": dry_run,
+        }
+
+        def sweep(path: Path, kind: str) -> None:
+            report[kind] += 1
+            report["deleted"].append(str(path))
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+        if not self.root.is_dir():
+            return report
+        for path in sorted(self.root.glob("*/*.pkl")):
+            report["scanned"] += 1
+            try:
+                payload = pickle.loads(path.read_bytes())
+                if not isinstance(payload, dict):
+                    raise ValueError("not a payload dict")
+            except Exception:
+                sweep(path, "torn")
+                continue
+            if payload.get("version") != CACHE_VERSION:
+                sweep(path, "torn")
+                continue
+            if payload.get("code") != code:
+                sweep(path, "stale_code")
+                continue
+            written_at = payload.get("written_at")
+            if cutoff is not None and (written_at is None or written_at < cutoff):
+                sweep(path, "expired")
+                continue
+            report["kept"] += 1
+        for tmp in sorted(self.root.glob("*/.*.tmp")):
+            try:
+                if now - tmp.stat().st_mtime > 3600.0:
+                    sweep(tmp, "tmp")
+            except OSError:
+                pass
+        return report

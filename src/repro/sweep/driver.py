@@ -1,15 +1,18 @@
 """``run_sweep``: execute sweep tasks and aggregate one ExperimentResult.
 
-Two modes share one aggregation path:
+Three modes share one aggregation path:
 
 * ``"serial"``  -- run every cell in-process, in task order.  This is the
-  parity reference: for deterministic scenarios the sharded aggregate must
-  be bit-identical to the serial one.
+  parity reference: for deterministic scenarios the sharded and remote
+  aggregates must be bit-identical to the serial one.
 * ``"sharded"`` -- fan cells out over worker processes through the
   fault-tolerant :class:`~repro.sweep.executor.ShardedExecutor`.
+* ``"remote"``  -- lease cells to agent processes over TCP through
+  :class:`~repro.sweep.remote.RemoteExecutor` (``hosts=["host:port", ...]``
+  naming running ``python -m repro agent`` listeners).
 
-Both modes consult the content-addressed cache first (when one is given)
-and only compute the delta; both degrade gracefully -- a failed cell
+All modes consult the content-addressed cache first (when one is given)
+and only compute the delta; all degrade gracefully -- a failed cell
 becomes a structured :class:`~repro.sweep.executor.SweepFailure` row in
 the aggregate, never a crashed driver.
 """
@@ -32,12 +35,18 @@ from repro.sweep.cache import (
 from repro.sweep.executor import RetryPolicy, ShardedExecutor, SweepFailure
 from repro.sweep.grid import SweepTask
 
-MODES = ("serial", "sharded")
+MODES = ("serial", "sharded", "remote")
 
 
 @dataclass
 class SweepReport:
-    """Everything one sweep produced: per-task results, failures, stats."""
+    """Everything one sweep produced: per-task results, failures, stats.
+
+    ``attempts`` maps task index -> dispatch count (how often the cell was
+    handed to a worker or host; cache hits never appear), so retries that
+    eventually succeeded are visible.  ``hosts`` (remote mode) maps host
+    name -> ``{"cells", "runs", "reconnects"}`` tallies.
+    """
 
     tasks: List[SweepTask]
     results: List[Optional[ExperimentResult]]
@@ -45,9 +54,40 @@ class SweepReport:
     stats: Dict[str, int]
     mode: str
     keys: Dict[int, str] = field(default_factory=dict)
+    attempts: Dict[int, int] = field(default_factory=dict)
+    hosts: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def result_for(self, index: int) -> Optional[ExperimentResult]:
         return self.results[index]
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable summary: stats, retry effort, per-host tallies."""
+        lines = [", ".join(f"{key}={value}" for key, value in sorted(self.stats.items()))]
+        if self.attempts:
+            retried = {
+                index: count for index, count in sorted(self.attempts.items()) if count > 1
+            }
+            line = (
+                f"attempts: {sum(self.attempts.values())} dispatch(es) over "
+                f"{len(self.attempts)} cell(s); {len(retried)} cell(s) retried"
+            )
+            backoff = self.stats.get("backoff_seconds", 0.0)
+            if backoff:
+                line += f"; {backoff:.2f}s spent backing off"
+            if retried:
+                shown = list(retried.items())[:8]
+                detail = ", ".join(f"cell {index} x{count}" for index, count in shown)
+                if len(retried) > len(shown):
+                    detail += f", ... ({len(retried) - len(shown)} more)"
+                line += f" ({detail})"
+            lines.append(line)
+        for name, info in sorted(self.hosts.items()):
+            runs = sum(info.get("runs", {}).values())
+            lines.append(
+                f"host {name}: {info.get('cells', 0)} cell(s) completed, "
+                f"{runs} run(s) started, {info.get('reconnects', 0)} reconnect(s)"
+            )
+        return lines
 
     def raise_on_failure(self) -> None:
         """Escalate the first failure (harnesses that cannot degrade)."""
@@ -111,6 +151,11 @@ def aggregate_report(
     aggregate.artifacts["failures"] = list(report.failures)
     aggregate.artifacts["stats"] = dict(report.stats)
     aggregate.artifacts["mode"] = report.mode
+    aggregate.artifacts["attempts"] = dict(report.attempts)
+    if report.hosts:
+        aggregate.artifacts["hosts"] = {
+            name: dict(info) for name, info in report.hosts.items()
+        }
     return aggregate
 
 
@@ -128,6 +173,7 @@ def _run_serial(
     interrupt: Optional[Any],
     progress: Callable[[str], None],
     stats: Dict[str, int],
+    attempts: Dict[int, int],
 ) -> Dict[int, SweepFailure]:
     from repro.scenarios.runner import run_scenario
 
@@ -145,6 +191,7 @@ def _run_serial(
             )
             stats["cancelled"] = stats.get("cancelled", 0) + 1
             continue
+        attempts[task.index] = attempts.get(task.index, 0) + 1
         try:
             result = run_scenario(task.spec)
         except Exception as exc:
@@ -178,6 +225,10 @@ def run_sweep(
     retry: Optional[RetryPolicy] = None,
     heartbeat_interval: float = 0.5,
     stall_timeout: Optional[float] = None,
+    hosts: Optional[Sequence[Any]] = None,
+    lease_timeout: Optional[float] = None,
+    connect_retry: Optional[RetryPolicy] = None,
+    quarantine_hosts: int = 2,
     interrupt: Optional[Any] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> SweepReport:
@@ -187,6 +238,11 @@ def run_sweep(
     :class:`ResultCache`; cached cells are never re-executed.  ``interrupt``
     is an optional :class:`~repro.sweep.signals.GracefulInterrupt` whose
     ``requested`` flag stops scheduling and flushes what completed.
+
+    ``mode="remote"`` leases cells to agents at ``hosts`` (``"host:port"``
+    strings naming running ``python -m repro agent`` listeners);
+    ``lease_timeout``, ``connect_retry`` and ``quarantine_hosts`` tune the
+    lease lifecycle (see :mod:`repro.sweep.remote`).
     """
     if mode not in MODES:
         raise ValueError(f"unknown sweep mode {mode!r}; expected one of {MODES}")
@@ -200,10 +256,12 @@ def run_sweep(
     progress = progress or (lambda message: None)
     store = _as_cache(cache)
     stats: Dict[str, int] = {"total": len(tasks), "cached": 0, "computed": 0}
+    attempts: Dict[int, int] = {}
+    hosts_report: Dict[str, Dict[str, Any]] = {}
 
     keys: Dict[int, str] = {}
     results: Dict[int, ExperimentResult] = {}
-    if store is not None or mode == "sharded":
+    if store is not None or mode in ("sharded", "remote"):
         code = code_fingerprint()
         for task in tasks:
             keys[task.index] = task_key(task.spec, task.engine, task.seed, code=code)
@@ -217,7 +275,35 @@ def run_sweep(
             progress(f"cache: {stats['cached']}/{len(tasks)} cells already present")
 
     if mode == "serial":
-        failure_map = _run_serial(tasks, results, keys, store, interrupt, progress, stats)
+        failure_map = _run_serial(
+            tasks, results, keys, store, interrupt, progress, stats, attempts
+        )
+    elif mode == "remote":
+        from repro.sweep.remote import RemoteExecutor
+
+        remaining = [task for task in tasks if task.index not in results]
+        failure_map = {}
+        if remaining:
+            executor = RemoteExecutor(
+                remaining,
+                hosts=list(hosts or ()),
+                keys=keys,
+                cache=store,
+                timeout=timeout,
+                retry=retry,
+                lease_timeout=lease_timeout,
+                heartbeat_interval=heartbeat_interval,
+                stall_timeout=stall_timeout,
+                connect_retry=connect_retry,
+                quarantine_hosts=quarantine_hosts,
+                interrupt=interrupt,
+                progress=progress,
+            )
+            payloads, failure_map, remote_stats, attempts, hosts_report = executor.run()
+            for index, payload in payloads.items():
+                results[index] = decode_result(payload)
+            for key, value in remote_stats.items():
+                stats[key] = stats.get(key, 0) + value
     else:
         remaining = [task for task in tasks if task.index not in results]
         failure_map = {}
@@ -234,7 +320,7 @@ def run_sweep(
                 interrupt=interrupt,
                 progress=progress,
             )
-            payloads, failure_map, shard_stats = executor.run()
+            payloads, failure_map, shard_stats, attempts = executor.run()
             for index, payload in payloads.items():
                 results[index] = decode_result(payload)
             for key, value in shard_stats.items():
@@ -252,4 +338,6 @@ def run_sweep(
         stats=stats,
         mode=mode,
         keys=keys,
+        attempts=attempts,
+        hosts=hosts_report,
     )

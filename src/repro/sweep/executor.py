@@ -32,11 +32,12 @@ import threading
 import time
 import traceback
 from dataclasses import dataclass, field
-from multiprocessing.connection import Connection, wait as connection_wait
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from multiprocessing.connection import Connection
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sweep.cache import ResultCache, encode_result
 from repro.sweep.grid import SweepTask
+from repro.sweep.transport import PipeTransport, TransportClosed, wait_readable
 
 
 @dataclass(frozen=True)
@@ -111,12 +112,29 @@ def _apply_injection(inject: Mapping[str, Any], attempt: int, beating: threading
         raise RuntimeError(str(inject.get("message", "injected failure")))
 
 
-def _worker_main(conn: Connection, worker_id: int, heartbeat_interval: float) -> None:
-    """One worker process: receive tasks, run them, report over the pipe."""
+def _worker_main(
+    conn: Connection,
+    worker_id: int,
+    heartbeat_interval: float,
+    worker_faults: Optional[Mapping[str, Any]] = None,
+) -> None:
+    """One worker process: receive tasks, run them, report over the pipe.
+
+    ``worker_faults`` is a test-only mapping keyed by fault name whose values
+    are worker-id lists: ``die_after_hello`` exits right after the hello
+    (first-contact death), ``wedge_before_start`` takes a task but never acks
+    ``start`` while its heartbeat thread keeps beating (the pre-start wedge
+    the start-ack deadline exists for).
+    """
     import signal
 
     # The driver coordinates shutdown; Ctrl-C must interrupt it, not us.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    worker_faults = worker_faults or {}
+
+    def _faulted(name: str) -> bool:
+        return worker_id in tuple(worker_faults.get(name, ()))
 
     send_lock = threading.Lock()
     beating = threading.Event()
@@ -137,6 +155,8 @@ def _worker_main(conn: Connection, worker_id: int, heartbeat_interval: float) ->
 
     threading.Thread(target=heartbeat_loop, daemon=True).start()
     send(("hello", worker_id, os.getpid()))
+    if _faulted("die_after_hello"):
+        os._exit(13)
 
     from repro.scenarios.runner import run_scenario
 
@@ -148,6 +168,8 @@ def _worker_main(conn: Connection, worker_id: int, heartbeat_interval: float) ->
         if message[0] == "stop":
             return
         _, index, attempt, spec, key, cache_root, inject = message
+        if _faulted("wedge_before_start"):
+            time.sleep(3600.0)  # heartbeats continue; start is never acked
         send(("start", worker_id, index, attempt))
         started = time.monotonic()
         try:
@@ -177,6 +199,30 @@ def _worker_main(conn: Connection, worker_id: int, heartbeat_interval: float) ->
 # -- driver side -------------------------------------------------------------
 
 
+def spawn_worker(
+    ctx,
+    worker_id: int,
+    heartbeat_interval: float,
+    worker_faults: Optional[Mapping[str, Any]] = None,
+):
+    """Spawn one ``_worker_main`` process; return ``(process, transport)``.
+
+    Shared by the local executor and the remote agent
+    (:mod:`repro.sweep.remote`), which both drive the same spawn-pool
+    worker protocol over a :class:`PipeTransport`.
+    """
+    parent_conn, child_conn = ctx.Pipe(duplex=True)
+    process = ctx.Process(
+        target=_worker_main,
+        args=(child_conn, worker_id, heartbeat_interval, dict(worker_faults or {})),
+        daemon=True,
+        name=f"sweep-worker-{worker_id}",
+    )
+    process.start()
+    child_conn.close()
+    return process, PipeTransport(parent_conn)
+
+
 @dataclass
 class _Attempt:
     task: SweepTask
@@ -188,7 +234,7 @@ class _Attempt:
 class _WorkerHandle:
     worker_id: int
     process: multiprocessing.process.BaseProcess
-    conn: Connection
+    transport: PipeTransport
     current: Optional[_Attempt] = None
     dispatched_at: float = 0.0
     #: Set when the worker acks "start" -- i.e. after its (possibly slow,
@@ -198,6 +244,12 @@ class _WorkerHandle:
     #: True once any message arrived; heartbeat-stall detection waits for
     #: first contact so slow spawn/imports are not mistaken for death.
     contacted: bool = False
+    #: True once the worker acked "start" for any task: later start acks
+    #: carry no import cost, so they get the (short) start-ack deadline.
+    ever_started: bool = False
+    #: Set when the pipe reports EOF -- death evidence acted on promptly by
+    #: the health check instead of waiting out the stall detector.
+    conn_eof: bool = False
     last_heartbeat: float = field(default_factory=time.monotonic)
 
     def kill(self) -> None:
@@ -209,19 +261,18 @@ class _WorkerHandle:
                 self.process.join(0.5)
         except (OSError, ValueError):
             pass
-        try:
-            self.conn.close()
-        except OSError:
-            pass
+        self.transport.close()
 
 
 class ShardedExecutor:
     """Fan sweep tasks out over spawn-ed worker processes, fault-tolerantly.
 
-    ``run()`` returns ``(payloads, failures, stats)``: payloads is a dict
-    ``task index -> encoded result`` for every cell that completed,
-    failures maps indices of cells that did not, and stats counts what
-    happened (computed/retried/quarantined/timeouts/crashes/...).
+    ``run()`` returns ``(payloads, failures, stats, attempts)``: payloads is
+    a dict ``task index -> encoded result`` for every cell that completed,
+    failures maps indices of cells that did not, stats counts what happened
+    (computed/retried/quarantined/timeouts/crashes/backoff seconds/...), and
+    attempts maps ``task index -> dispatch count`` so retries that
+    eventually succeeded are visible, not silent.
     """
 
     def __init__(
@@ -236,9 +287,11 @@ class ShardedExecutor:
         heartbeat_interval: float = 0.5,
         stall_timeout: Optional[float] = None,
         spawn_timeout: float = 60.0,
+        start_ack_timeout: Optional[float] = None,
         interrupt: Optional[Any] = None,
         progress: Optional[Callable[[str], None]] = None,
         tick: float = 0.05,
+        worker_faults: Optional[Mapping[str, Any]] = None,
     ):
         self.tasks = list(tasks)
         self._by_index = {task.index: task for task in self.tasks}
@@ -254,9 +307,18 @@ class ShardedExecutor:
             else max(10.0 * heartbeat_interval, 5.0)
         )
         self.spawn_timeout = spawn_timeout
+        #: Deadline for the "start" ack once a task is dispatched to a *warm*
+        #: worker (one that has started a task before, so no import cost
+        #: remains).  A fresh worker gets ``spawn_timeout`` instead.  This is
+        #: what catches a worker whose main thread wedged or died before the
+        #: ack while its heartbeat thread kept the stall detector happy.
+        self.start_ack_timeout = (
+            start_ack_timeout if start_ack_timeout is not None else self.stall_timeout
+        )
         self.interrupt = interrupt
         self.progress = progress or (lambda message: None)
         self.tick = tick
+        self.worker_faults = dict(worker_faults or {})
         self._rng = random.Random(0x5EED)
         self._ctx = multiprocessing.get_context("spawn")
         self._next_worker_id = 0
@@ -264,18 +326,12 @@ class ShardedExecutor:
     # -- lifecycle helpers --
 
     def _spawn_worker(self) -> _WorkerHandle:
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         worker_id = self._next_worker_id
         self._next_worker_id += 1
-        process = self._ctx.Process(
-            target=_worker_main,
-            args=(child_conn, worker_id, self.heartbeat_interval),
-            daemon=True,
-            name=f"sweep-worker-{worker_id}",
+        process, transport = spawn_worker(
+            self._ctx, worker_id, self.heartbeat_interval, self.worker_faults
         )
-        process.start()
-        child_conn.close()
-        return _WorkerHandle(worker_id=worker_id, process=process, conn=parent_conn)
+        return _WorkerHandle(worker_id=worker_id, process=process, transport=transport)
 
     def _record_failure(
         self,
@@ -311,6 +367,7 @@ class ShardedExecutor:
                 _Attempt(attempt.task, attempt.attempt + 1, time.monotonic() + delay)
             )
             stats["retried"] = stats.get("retried", 0) + 1
+            stats["backoff_seconds"] = round(stats.get("backoff_seconds", 0.0) + delay, 6)
             self.progress(
                 f"retrying {attempt.task.label or index} in {delay:.2f}s "
                 f"(attempt {attempt.attempt + 1}/{self.retry.max_attempts}; {kind})"
@@ -328,11 +385,12 @@ class ShardedExecutor:
 
     # -- main loop --
 
-    def run(self):
+    def run(self) -> Tuple[Dict[int, Any], Dict[int, SweepFailure], Dict[str, Any], Dict[int, int]]:
         state: Dict[str, Any] = {
             "payloads": {},
             "failures": {},
             "stats": {"computed": 0},
+            "attempts": {},
             "pending": [_Attempt(task, 1, 0.0) for task in self.tasks],
             "workers": [],
         }
@@ -350,7 +408,7 @@ class ShardedExecutor:
                         message="sweep interrupted before this cell ran",
                     )
                     state["stats"]["cancelled"] = state["stats"].get("cancelled", 0) + 1
-        return state["payloads"], state["failures"], state["stats"]
+        return state["payloads"], state["failures"], state["stats"], state["attempts"]
 
     def _loop(self, state: Dict[str, Any]) -> None:
         total = len(self.tasks)
@@ -387,7 +445,7 @@ class ShardedExecutor:
             pending.remove(attempt)
             task = attempt.task
             try:
-                idle.conn.send(
+                idle.transport.send(
                     (
                         "task",
                         task.index,
@@ -398,10 +456,11 @@ class ShardedExecutor:
                         dict(task.inject),
                     )
                 )
-            except (BrokenPipeError, OSError):
+            except TransportClosed:
                 pending.append(attempt)
                 self._fail_worker(state, idle, "crash", "worker pipe closed at dispatch")
                 continue
+            state["attempts"][task.index] = state["attempts"].get(task.index, 0) + 1
             idle.current = attempt
             idle.dispatched_at = time.monotonic()
             idle.task_started_at = None
@@ -412,19 +471,18 @@ class ShardedExecutor:
         if not workers:
             time.sleep(self.tick)
             return
-        conns = {w.conn: w for w in workers}
-        ready = connection_wait(list(conns), timeout=self.tick)
-        for conn in ready:
-            worker = conns[conn]
-            while True:
-                try:
-                    if not conn.poll():
-                        break
-                    message = conn.recv()
-                except (EOFError, OSError):
-                    # Pipe closed: the health check below turns this into a
-                    # crash failure once the process is observed dead.
-                    break
+        by_transport = {w.transport: w for w in workers}
+        ready = wait_readable(list(by_transport), timeout=self.tick)
+        for transport in ready:
+            worker = by_transport[transport]
+            try:
+                messages = transport.recv_all()
+            except TransportClosed:
+                # Pipe closed: death evidence the health check acts on
+                # immediately instead of waiting out the stall detector.
+                worker.conn_eof = True
+                continue
+            for message in messages:
                 self._handle_message(state, worker, message)
 
     def _handle_message(
@@ -438,6 +496,7 @@ class ShardedExecutor:
             # (possibly slow, first-task) imports and begins real work.
             if worker.current is not None and worker.current.task.index == message[2]:
                 worker.task_started_at = worker.last_heartbeat
+                worker.ever_started = True
             return
         if kind in ("heartbeat", "hello"):
             return
@@ -468,7 +527,12 @@ class ShardedExecutor:
     def _check_health(self, state: Dict[str, Any]) -> None:
         now = time.monotonic()
         for worker in list(state["workers"]):
-            if not worker.process.is_alive():
+            if worker.conn_eof or not worker.process.is_alive():
+                # Pipe EOF is acted on as death evidence even while the exit
+                # is still in flight (is_alive can race a dying process), so
+                # a worker that connected and died before its first
+                # heartbeat fails its task promptly -- not a stall later.
+                worker.process.join(0.2)
                 exitcode = worker.process.exitcode
                 if worker.current is not None:
                     self._fail_worker(
@@ -483,6 +547,22 @@ class ShardedExecutor:
                 continue
             if worker.current is None:
                 continue
+            if worker.task_started_at is None:
+                # Dispatched but no "start" ack yet.  A fresh worker gets the
+                # spawn/import grace; a warm worker must ack within the
+                # start-ack deadline -- catching a main thread that wedged or
+                # died pre-start while heartbeats kept flowing (previously
+                # only the stall detector's longer deadline, or nothing at
+                # all when no task timeout was set).
+                grace = self.spawn_timeout if not worker.ever_started else self.start_ack_timeout
+                if now - worker.dispatched_at > grace:
+                    self._fail_worker(
+                        state,
+                        worker,
+                        "dead-worker",
+                        f"no start ack within {grace:.1f}s of dispatch",
+                    )
+                    continue
             if self.timeout is not None:
                 if worker.task_started_at is not None:
                     busy_for = now - worker.task_started_at
@@ -519,8 +599,8 @@ class ShardedExecutor:
     def _shutdown(self, state: Dict[str, Any]) -> None:
         for worker in state["workers"]:
             try:
-                worker.conn.send(("stop",))
-            except (BrokenPipeError, OSError):
+                worker.transport.send(("stop",))
+            except TransportClosed:
                 pass
         deadline = time.monotonic() + 2.0
         for worker in state["workers"]:

@@ -143,3 +143,101 @@ class TestResultCache:
         target.parent.mkdir(parents=True, exist_ok=True)
         target.write_bytes(cache.path_for(key_a).read_bytes())
         assert cache.get(key_b) is None
+
+
+def _rewrite(cache, key, **overrides):
+    """Edit a stored payload in place (simulating entries from another era)."""
+    path = cache.path_for(key)
+    payload = pickle.loads(path.read_bytes())
+    payload.update(overrides)
+    path.write_bytes(pickle.dumps(payload))
+
+
+class TestCacheGC:
+    def test_stale_code_entries_are_swept(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aa" * 32, {"rows": [1]})
+        cache.put("bb" * 32, {"rows": [2]})
+        _rewrite(cache, "bb" * 32, code="fingerprint-of-deleted-code")
+        report = cache.gc()
+        assert report["scanned"] == 2
+        assert report["kept"] == 1
+        assert report["stale_code"] == 1
+        assert cache.get("aa" * 32) is not None
+        assert not cache.path_for("bb" * 32).exists()
+
+    def test_age_cutoff_only_applies_when_asked(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aa" * 32, {"rows": [1]})
+        cache.put("bb" * 32, {"rows": [2]})
+        ten_days = 10 * 86400.0
+        _rewrite(cache, "bb" * 32, written_at=__import__("time").time() - ten_days)
+        assert cache.gc(dry_run=True)["expired"] == 0  # no cutoff, no expiry
+        report = cache.gc(max_age_days=5)
+        assert report["expired"] == 1
+        assert report["kept"] == 1
+        assert not cache.path_for("bb" * 32).exists()
+
+    def test_torn_entries_are_tolerated_and_swept(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aa" * 32, {"rows": [1]})
+        torn = cache.path_for("cc" * 32)
+        torn.parent.mkdir(parents=True, exist_ok=True)
+        torn.write_bytes(b"half a pickle, killed mid-wr")
+        skewed = cache.path_for("dd" * 32)
+        skewed.parent.mkdir(parents=True, exist_ok=True)
+        skewed.write_bytes(pickle.dumps({"version": CACHE_VERSION + 1}))
+        report = cache.gc()  # must not raise on either
+        assert report["torn"] == 2
+        assert report["kept"] == 1
+        assert not torn.exists() and not skewed.exists()
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aa" * 32, {"rows": [1]})
+        _rewrite(cache, "aa" * 32, code="stale")
+        report = cache.gc(dry_run=True)
+        assert report["dry_run"] and report["stale_code"] == 1
+        assert len(report["deleted"]) == 1
+        assert cache.path_for("aa" * 32).exists()  # still on disk
+
+    def test_old_tmp_spills_are_swept(self, tmp_path):
+        import time as _time
+
+        cache = ResultCache(tmp_path)
+        cache.put("aa" * 32, {"rows": [1]})
+        spill = cache.path_for("aa" * 32).parent / ".deadbeef.12345.tmp"
+        spill.write_bytes(b"abandoned mkstemp spill")
+        ancient = _time.time() - 7200.0
+        os.utime(spill, (ancient, ancient))
+        report = cache.gc()
+        assert report["tmp"] == 1
+        assert not spill.exists()
+        assert report["kept"] == 1
+
+
+class TestCacheGCCli:
+    def test_sweep_gc_dry_run_then_delete(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        cache = ResultCache(tmp_path)
+        cache.put("aa" * 32, {"rows": [1]})
+        cache.put("bb" * 32, {"rows": [2]})
+        _rewrite(cache, "bb" * 32, code="stale")
+
+        assert main(["sweep", "--gc", "--cache-dir", str(tmp_path), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "stale_code=1" in out and "would delete 1 file(s)" in out
+        assert cache.path_for("bb" * 32).exists()
+
+        assert main(["sweep", "--gc", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "deleted 1 file(s)" in out
+        assert not cache.path_for("bb" * 32).exists()
+        assert cache.get("aa" * 32) is not None
+
+    def test_sweep_without_expression_or_gc_is_an_error(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sweep"]) == 2
+        assert "sweep expression is required" in capsys.readouterr().err

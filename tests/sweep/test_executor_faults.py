@@ -76,6 +76,12 @@ class TestInjectedFaults:
         assert report.stats["retried"] == 1
         assert report.stats["failed"] == 0
         assert report.aggregate("ref").rows == serial_reference
+        # Observability: the retry that succeeded is visible as a second
+        # dispatch of cell 0, and the backoff it waited through is summed.
+        assert report.attempts[0] == 2
+        assert all(report.attempts[task.index] == 1 for task in tasks[1:])
+        assert report.stats["backoff_seconds"] > 0
+        assert "attempts:" in "\n".join(report.summary_lines())
 
     def test_hung_task_times_out_then_quarantines(self):
         tasks = make_tasks()
@@ -121,6 +127,72 @@ class TestInjectedFaults:
         assert failure.kind == "dead-worker"
         assert failure.quarantined
         assert report.stats["computed"] == len(tasks) - 1
+
+
+class TestFirstContactDeath:
+    """A worker that connects but dies or wedges before its first start ack.
+
+    Regression tests for the spawn-timeout edge: heartbeats (or the hello)
+    keep the stall detector happy, so these cases previously surfaced only
+    after ``timeout + stall_timeout`` -- and with ``timeout=None``, never.
+    """
+
+    def _run_guarded(self, executor, wall_limit=90.0):
+        import threading
+
+        box = {}
+
+        def run():
+            box["out"] = executor.run()
+
+        thread = threading.Thread(target=run, daemon=True)
+        started = time.monotonic()
+        thread.start()
+        thread.join(wall_limit)
+        assert not thread.is_alive(), "executor wedged on a pre-start fault"
+        return box["out"], time.monotonic() - started
+
+    def test_wedged_pre_start_worker_is_killed_promptly_without_timeout(self):
+        from repro.sweep.executor import ShardedExecutor
+
+        executor = ShardedExecutor(
+            make_tasks(),
+            workers=1,
+            timeout=None,  # the previously-undetectable configuration
+            heartbeat_interval=0.1,
+            stall_timeout=5.0,
+            spawn_timeout=2.0,
+            start_ack_timeout=1.0,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.05, max_delay=0.2),
+            worker_faults={"wedge_before_start": (0,)},
+        )
+        (payloads, failures, stats, attempts), elapsed = self._run_guarded(executor)
+        # Worker 0 took the task and wedged while its heartbeats kept
+        # flowing; the start-ack deadline killed it and the retry succeeded.
+        assert stats["dead-worker"] == 1
+        assert not failures
+        assert len(payloads) == len(make_tasks())
+        assert attempts[0] == 2
+        assert elapsed < 60.0
+
+    def test_worker_dying_right_after_hello_fails_fast_not_at_stall(self):
+        from repro.sweep.executor import ShardedExecutor
+
+        executor = ShardedExecutor(
+            make_tasks(),
+            workers=1,
+            heartbeat_interval=0.1,
+            stall_timeout=30.0,  # far beyond the asserted wall-clock bound
+            retry=RetryPolicy(max_attempts=3, base_delay=0.05, max_delay=0.2),
+            worker_faults={"die_after_hello": (0,)},
+        )
+        (payloads, failures, stats, attempts), elapsed = self._run_guarded(executor)
+        # Death is detected from the pipe EOF, not by waiting out the
+        # 30-second stall detector.
+        assert stats["crash"] == 1
+        assert not failures
+        assert len(payloads) == len(make_tasks())
+        assert elapsed < 25.0
 
 
 class TestCrashOnlyResume:

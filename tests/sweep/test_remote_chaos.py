@@ -1,0 +1,139 @@
+"""Chaos soak: SIGKILL agents at random instants; the aggregate must not move.
+
+A loopback remote sweep runs while a seeded killer SIGKILLs a random agent
+(mid-cell, mid-ack or mid-fetch -- wherever the timer lands) and respawns
+it on the same port with the same cache directory.  The final aggregate
+must be bit-identical to the serial reference, and the per-host run
+tallies must respect the retry bound: no cell starts more than
+``max_attempts + 1`` times on any one host.
+"""
+
+import os
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.sweep import (
+    ResultCache,
+    RetryPolicy,
+    expand_grid,
+    parse_sweep,
+    run_sweep,
+)
+
+pytestmark = pytest.mark.sweep_smoke
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXPRESSION = "fig4/single-link-churn scheme=numfabric,dctcp seed=0..1"
+ENV = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+RETRY = RetryPolicy(max_attempts=3, base_delay=0.05, max_delay=0.3)
+KILL_ROUNDS = 2
+
+
+def spawn_agent(bind, cache_dir):
+    """One agent subprocess at a (possibly fixed) bind; returns (proc, host)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro",
+            "agent",
+            bind,
+            "--workers",
+            "1",
+            "--cache-dir",
+            str(cache_dir),
+            "--heartbeat",
+            "0.2",
+            "--fault",
+            "slow_ack_on=all",
+            "--fault",
+            "slow_ack_seconds=0.3",
+            "--quiet",
+        ],
+        cwd=REPO_ROOT,
+        env=ENV,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if "listening on" in line or proc.poll() is not None:
+            break
+    assert "listening on" in line, f"agent failed to start: {line!r}"
+    return proc, line.rsplit("listening on", 1)[1].strip()
+
+
+class TestRemoteChaos:
+    def test_random_agent_kills_never_change_the_aggregate(self, tmp_path):
+        serial_reference = run_sweep(make_tasks(), mode="serial").aggregate("ref").rows
+        procs, hosts = [], []
+        for i in range(2):
+            proc, host = spawn_agent("127.0.0.1:0", tmp_path / f"agent-{i}")
+            procs.append(proc)
+            hosts.append(host)
+
+        box = {}
+
+        def drive():
+            box["report"] = run_sweep(
+                make_tasks(),
+                mode="remote",
+                hosts=hosts,
+                cache=ResultCache(tmp_path / "driver"),
+                heartbeat_interval=0.2,
+                stall_timeout=2.0,
+                retry=RETRY,
+                connect_retry=RetryPolicy(max_attempts=8, base_delay=0.2, max_delay=1.0),
+            )
+
+        driver = threading.Thread(target=drive, daemon=True)
+        driver.start()
+        rng = random.Random(0xC4A05)
+        try:
+            for _ in range(KILL_ROUNDS):
+                time.sleep(rng.uniform(0.4, 1.0))
+                if not driver.is_alive():
+                    break
+                victim = rng.randrange(len(procs))
+                procs[victim].send_signal(signal.SIGKILL)
+                procs[victim].wait(timeout=30)
+                # Respawn on the same port with the same cache: the replacement
+                # answers already-computed cells straight from disk.
+                procs[victim], _ = spawn_agent(
+                    hosts[victim], tmp_path / f"agent-{victim}"
+                )
+            driver.join(timeout=180)
+            assert not driver.is_alive(), "remote sweep wedged under chaos"
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+            for proc in procs:
+                proc.wait(timeout=30)
+
+        report = box["report"]
+        assert report.stats["failed"] == 0
+        assert report.aggregate("ref").rows == serial_reference
+        # Retry bound: cache hits answer re-leases without a run, so even
+        # under kills no cell *starts* more than max_attempts + 1 times on
+        # any single host.
+        for host, info in report.hosts.items():
+            for index, runs in info["runs"].items():
+                assert runs <= RETRY.max_attempts + 1, (
+                    f"cell {index} ran {runs} times on {host}"
+                )
+
+
+def make_tasks():
+    return expand_grid(parse_sweep(EXPRESSION))

@@ -1,0 +1,163 @@
+"""Wire framing: JSON lines, blob hashing, pipe/socket transport parity."""
+
+import json
+import multiprocessing
+import socket
+
+import pytest
+
+from repro.sweep.transport import (
+    PipeTransport,
+    ProtocolError,
+    SocketTransport,
+    TransportClosed,
+    pack_blob,
+    pack_pickle,
+    parse_host,
+    unpack_blob,
+    unpack_pickle,
+    wait_readable,
+)
+
+
+def socket_pair():
+    a, b = socket.socketpair()
+    return SocketTransport(a), SocketTransport(b)
+
+
+class TestBlobs:
+    def test_round_trip_verifies_hash(self):
+        data = b"\x00\x01payload\xff" * 100
+        assert unpack_blob(pack_blob(data)) == data
+
+    def test_corrupted_blob_is_rejected(self):
+        blob = pack_blob(b"payload")
+        tampered = dict(blob, b64=pack_blob(b"payloaX")["b64"])
+        with pytest.raises(ProtocolError, match="hash mismatch"):
+            unpack_blob(tampered)
+
+    def test_malformed_blob_is_rejected(self):
+        with pytest.raises(ProtocolError):
+            unpack_blob({"sha256": "x"})
+        with pytest.raises(ProtocolError):
+            unpack_blob("not a dict")
+        with pytest.raises(ProtocolError, match="base64"):
+            unpack_blob({"sha256": "x", "b64": "!!!not base64!!!"})
+
+    def test_pickle_round_trip(self):
+        value = {"nested": (1, 2.5, "x"), "t": [None, True]}
+        assert unpack_pickle(pack_pickle(value)) == value
+        with pytest.raises(ProtocolError):
+            unpack_pickle("@@@")
+
+
+class TestParseHost:
+    def test_accepts_string_and_tuple(self):
+        assert parse_host("127.0.0.1:9000") == ("127.0.0.1", 9000)
+        assert parse_host(("10.0.0.2", 80)) == ("10.0.0.2", 80)
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_host("no-port")
+        with pytest.raises(ValueError):
+            parse_host("host:not-a-number")
+
+
+class TestSocketTransport:
+    def test_message_round_trip(self):
+        a, b = socket_pair()
+        try:
+            a.send({"type": "hello", "n": 1})
+            a.send({"type": "data", "blob": pack_blob(b"x")})
+            ready = wait_readable([b], timeout=5.0)
+            assert b in ready
+            messages = b.recv_all()
+            assert [m["type"] for m in messages] == ["hello", "data"]
+            assert unpack_blob(messages[1]["blob"]) == b"x"
+        finally:
+            a.close()
+            b.close()
+
+    def test_partial_line_buffers_until_newline(self):
+        a, b = socket_pair()
+        try:
+            whole = json.dumps({"type": "split", "v": 42}).encode() + b"\n"
+            a.sock.sendall(whole[:5])
+            wait_readable([b], timeout=5.0)
+            assert b.recv_all() == []  # incomplete line: nothing delivered
+            a.sock.sendall(whole[5:])
+            wait_readable([b], timeout=5.0)
+            assert b.recv_all() == [{"type": "split", "v": 42}]
+        finally:
+            a.close()
+            b.close()
+
+    def test_typeless_and_undecodable_messages_are_protocol_errors(self):
+        a, b = socket_pair()
+        try:
+            with pytest.raises(ProtocolError, match="without a type"):
+                a.send({"no": "type"})
+            a.sock.sendall(b"not json at all\n")
+            wait_readable([b], timeout=5.0)
+            with pytest.raises(ProtocolError):
+                b.recv_all()
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversize_line_is_a_protocol_error(self):
+        a_sock, b_sock = socket.socketpair()
+        a = SocketTransport(a_sock)
+        b = SocketTransport(b_sock, max_line=1024)
+        try:
+            a.sock.sendall(b"x" * 2048)  # no newline: unbounded-buffer probe
+            wait_readable([b], timeout=5.0)
+            with pytest.raises(ProtocolError, match="without a newline"):
+                b.recv_all()
+        finally:
+            a.close()
+            b.close()
+
+    def test_peer_close_drains_buffered_messages_first(self):
+        a, b = socket_pair()
+        try:
+            a.send({"type": "last-words"})
+            a.close()
+            wait_readable([b], timeout=5.0)
+            assert b.recv_all() == [{"type": "last-words"}]
+            with pytest.raises(TransportClosed):
+                b.recv_all()
+        finally:
+            b.close()
+
+    def test_send_to_closed_peer_raises_transport_closed(self):
+        a, b = socket_pair()
+        b.close()
+        try:
+            with pytest.raises(TransportClosed):
+                # One send may land in the kernel buffer before the RST.
+                for _ in range(64):
+                    a.send({"type": "ping"})
+        finally:
+            a.close()
+
+
+class TestPipeTransport:
+    def test_round_trip_and_eof(self):
+        parent, child = multiprocessing.get_context("spawn").Pipe(duplex=True)
+        a, b = PipeTransport(parent), PipeTransport(child)
+        a.send(("task", 1))
+        a.send(("stop",))
+        assert b.recv_all() == [("task", 1), ("stop",)]
+        a.close()
+        with pytest.raises(TransportClosed):
+            while True:  # poll until the close is visible on this side
+                b.recv_all()
+
+    def test_closed_transport_is_immediately_readable(self):
+        parent, child = multiprocessing.get_context("spawn").Pipe(duplex=True)
+        a, b = PipeTransport(parent), PipeTransport(child)
+        a.close()
+        b.close()
+        # A dead descriptor must be reported ready, not block the select.
+        assert b in wait_readable([b], timeout=0.1)
