@@ -164,6 +164,8 @@ class OracleRatePolicy(RatePolicy):
         safeguard: bool = False,
         tolerance: float = 1e-9,
         solver: str = "persistent",
+        inner: str = "spg",
+        kernel: Optional[str] = None,
     ):
         if solver not in ("persistent", "scipy"):
             raise ValueError(f"unknown oracle policy solver {solver!r}")
@@ -175,6 +177,11 @@ class OracleRatePolicy(RatePolicy):
         self.safeguard = safeguard
         self.tolerance = tolerance
         self.solver = solver
+        #: Persistent solver's inner minimizer ("spg"/"lbfgs") and the dual
+        #: evaluation kernel ("numpy"/"numba"/None for REPRO_KERNEL); both
+        #: forwarded to :class:`~repro.fluid.oracle.PersistentDualSolver`.
+        self.inner = inner
+        self.kernel = kernel
         self._persistent: Optional[PersistentDualSolver] = None
         self._cached: Optional[Dict[object, float]] = None
         self._prices: Optional[Dict[object, float]] = None
@@ -198,6 +205,8 @@ class OracleRatePolicy(RatePolicy):
                         tolerance=self.tolerance,
                         scale_refresh_interval=self.scale_refresh_interval,
                         safeguard=self.safeguard,
+                        inner=self.inner,
+                        kernel=self.kernel,
                     )
                 result = self._persistent.solve(network)
             else:
@@ -285,13 +294,15 @@ SCHEME_SIMULATORS: Dict[str, Callable] = {
 
 
 def scheme_rate_policy(
-    scheme: str, backend: str = "vectorized", params=None
+    scheme: str, backend: str = "vectorized", params=None, kernel: Optional[str] = None
 ) -> SimulatorRatePolicy:
     """A :class:`SimulatorRatePolicy` for a named scheme on a given backend.
 
     ``backend`` defaults to the vectorized fluid engine (every scheme's
     allocations match its scalar reference within 1e-9); pass
-    ``backend="scalar"`` for the reference implementation.
+    ``backend="scalar"`` for the reference implementation.  ``kernel``
+    selects the compiled waterfill for simulators that accept one
+    (currently xWI/NUMFabric); schemes without a kernel path ignore it.
     """
     try:
         simulator_cls = SCHEME_SIMULATORS[scheme]
@@ -299,12 +310,13 @@ def scheme_rate_policy(
         raise ValueError(
             f"unknown scheme {scheme!r}; expected one of {sorted(SCHEME_SIMULATORS)}"
         ) from None
+    extra = {"kernel": kernel} if simulator_cls is XwiFluidSimulator else {}
     # The policy only reads each record's rates, so skip the per-step
     # price/queue/weight dict builds (record_detail=False) -- measurable at
     # the dynamic experiments' paper scale.
     return SimulatorRatePolicy(
         lambda network: simulator_cls(
-            network, params=params, backend=backend, record_detail=False
+            network, params=params, backend=backend, record_detail=False, **extra
         )
     )
 

@@ -353,8 +353,12 @@ def _flow_policy_factory(spec: ScenarioSpec) -> Callable[[], object]:
     if spec.scheme.name == "Oracle":
         options = dict(spec.scheme.options)
         return lambda: OracleRatePolicy(**options)
+    # Scheme options (e.g. kernel="numba") flow through to the simulator
+    # factory, so spec-level backend selection covers the compiled kernels.
+    scheme_options = dict(spec.scheme.options)
     return lambda: scheme_rate_policy(
-        spec.scheme.name, backend=spec.scheme.backend, params=spec.scheme.params
+        spec.scheme.name, backend=spec.scheme.backend, params=spec.scheme.params,
+        **scheme_options,
     )
 
 

@@ -133,6 +133,17 @@ class OutputPort:
     def _finish_transmission(self, packet: Packet) -> None:
         self.bytes_transmitted += packet.size_bytes
         self.packets_transmitted += 1
+        if self.propagation_delay == 0.0:
+            # Zero-delay link: coalesce propagation into this serialization
+            # event instead of scheduling a same-timestamp delivery, saving
+            # one heap push+pop per packet.  The next packet starts
+            # serializing before the peer sees this one -- the same
+            # within-timestamp order the two-event path produces -- and a
+            # mid-flight set_rate(0) still only holds the *queue* (this
+            # packet already finished serializing, so it is delivered).
+            self._start_transmission()
+            self.peer.receive(packet)
+            return
         # The packet propagates to the peer while the port moves on to the
         # next queued packet.
         self.simulator.schedule_uncancellable(self.propagation_delay, self.peer.receive, packet)

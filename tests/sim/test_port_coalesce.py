@@ -1,0 +1,168 @@
+"""Zero-delay coalescing in OutputPort: parity with the two-event path.
+
+When ``propagation_delay == 0`` the port delivers the packet to the peer
+inside the serialization-completion event instead of scheduling a second
+same-timestamp propagation event.  These tests pin that the optimization is
+unobservable: delivery times/order, counters, link-down (``set_rate(0)``)
+semantics and whole-simulation results are identical to the legacy path,
+and nonzero-delay ports still propagate asynchronously.
+"""
+
+import pytest
+
+from repro.core.config import NumFabricParameters
+from repro.core.utility import LogUtility
+from repro.sim.engine import Simulator
+from repro.sim.flow import FlowDescriptor
+from repro.sim.packet import Packet
+from repro.sim.port import OutputPort
+from repro.sim.topology import single_link_network
+from repro.transports import NumFabricScheme
+
+
+def legacy_finish_transmission(self, packet):
+    """The pre-coalescing ``_finish_transmission``: always two events."""
+    self.bytes_transmitted += packet.size_bytes
+    self.packets_transmitted += 1
+    self.simulator.schedule_uncancellable(self.propagation_delay, self.peer.receive, packet)
+    self._start_transmission()
+
+
+class LegacyPort(OutputPort):
+    """OutputPort with the two-event path forced (reference for parity)."""
+
+    __slots__ = ()
+    _finish_transmission = legacy_finish_transmission
+
+
+class RecordingPeer:
+    """Peer that records (time, packet) for every delivery."""
+
+    def __init__(self, simulator):
+        self.simulator = simulator
+        self.deliveries = []
+
+    def receive(self, packet):
+        self.deliveries.append((self.simulator.now, packet.sequence))
+
+
+def make_packet(sequence, size=1500):
+    return Packet(
+        flow_id=0, source="a", destination="b", size_bytes=size, sequence=sequence
+    )
+
+
+def drive_port(delay, legacy, sizes, mid_run=None):
+    """Send one packet per size through a fresh port; return the trace."""
+    simulator = Simulator()
+    port_cls = LegacyPort if legacy else OutputPort
+    port = port_cls(simulator, "p", rate_bps=1e9, propagation_delay=delay)
+    peer = RecordingPeer(simulator)
+    port.connect(peer)
+    for i, size in enumerate(sizes):
+        port.send(make_packet(i, size))
+    if mid_run is not None:
+        mid_run(simulator, port)
+    simulator.run()
+    return peer.deliveries, port.bytes_transmitted, port.packets_transmitted
+
+
+class TestZeroDelayParity:
+    def test_delivery_times_and_order_match_legacy(self):
+        sizes = [1500, 40, 9000, 1500, 64]
+        coalesced = drive_port(0.0, legacy=False, sizes=sizes)
+        legacy = drive_port(0.0, legacy=True, sizes=sizes)
+        assert coalesced == legacy
+        # Every delivery lands exactly at the end of its serialization slot.
+        times = [t for t, _ in coalesced[0]]
+        expected, clock = [], 0.0
+        for size in sizes:
+            clock += size * 8.0 / 1e9
+            expected.append(clock)
+        assert times == pytest.approx(expected, abs=1e-15)
+
+    def test_coalesced_path_schedules_no_propagation_event(self):
+        simulator = Simulator()
+        port = OutputPort(simulator, "p", rate_bps=1e9, propagation_delay=0.0)
+        port.connect(RecordingPeer(simulator))
+        port.send(make_packet(0))
+        # One serialization event only; the legacy path would add a second
+        # (propagation) event when it fires.
+        assert simulator.pending_events == 1
+        simulator.run()
+        assert simulator.pending_events == 0
+
+    def test_nonzero_delay_still_propagates_asynchronously(self):
+        delay = 5e-6
+        deliveries, _, _ = drive_port(delay, legacy=False, sizes=[1500])
+        assert deliveries[0][0] == pytest.approx(1500 * 8.0 / 1e9 + delay)
+
+
+class TestLinkDownSemantics:
+    """``set_rate(0)`` mid-flight behaves identically on both paths."""
+
+    @pytest.mark.parametrize("legacy", [False, True])
+    def test_packet_on_wire_delivers_then_queue_holds(self, legacy):
+        def take_down(simulator, port):
+            # Mid-serialization of packet 0: the wire finishes, the rest of
+            # the queue holds until the link comes back.
+            simulator.schedule(0.5 * 1500 * 8.0 / 1e9, port.set_rate, 0.0)
+            simulator.schedule(1e-3, port.set_rate, 1e9)
+
+        deliveries, total_bytes, count = drive_port(
+            0.0, legacy=legacy, sizes=[1500, 1500, 1500], mid_run=take_down
+        )
+        assert count == 3 and total_bytes == 4500
+        first_tx = 1500 * 8.0 / 1e9
+        # Packet 0 delivered on time; 1 and 2 only after the link recovered.
+        assert deliveries[0][0] == pytest.approx(first_tx)
+        assert deliveries[1][0] == pytest.approx(1e-3 + first_tx)
+        assert deliveries[2][0] == pytest.approx(1e-3 + 2 * first_tx)
+
+    def test_down_link_parity_with_legacy(self):
+        def take_down(simulator, port):
+            simulator.schedule(7e-6, port.set_rate, 0.0)
+            simulator.schedule(9e-4, port.set_rate, 2e9)
+
+        sizes = [1500, 9000, 64, 1500]
+        assert drive_port(0.0, legacy=False, sizes=sizes, mid_run=take_down) == drive_port(
+            0.0, legacy=True, sizes=sizes, mid_run=take_down
+        )
+
+
+class TestWholeSimulationParity:
+    def test_numfabric_run_identical_on_zero_delay_fabric(self, monkeypatch):
+        """A full packet-level run on zero-delay links is bit-identical."""
+
+        def run(legacy):
+            if legacy:
+                monkeypatch.setattr(
+                    OutputPort, "_finish_transmission", legacy_finish_transmission
+                )
+            else:
+                monkeypatch.undo()
+            params = NumFabricParameters(baseline_rtt=60e-6, delay_slack=20e-6)
+            network = single_link_network(
+                NumFabricScheme(params=params), num_flows=3, link_rate=1e9, link_delay=0.0
+            )
+            for i in range(3):
+                network.add_flow(
+                    FlowDescriptor(
+                        flow_id=i,
+                        source=("sender", i),
+                        destination=("receiver", i),
+                        utility=LogUtility(weight=float(i + 1)),
+                    )
+                )
+            network.run(0.01)
+            rates = [network.rate_monitors[i].average_rate(0.005, 0.01) for i in range(3)]
+            counters = [(p.bytes_transmitted, p.packets_transmitted) for p in network.ports]
+            return rates, counters, network.simulator.events_processed
+
+        rates_new, counters_new, _ = run(legacy=False)
+        rates_old, counters_old, events_old = run(legacy=True)
+        assert rates_new == rates_old
+        assert counters_new == counters_old
+        # The coalesced run does strictly less event-queue work.
+        _, _, events_new = run(legacy=False)
+        assert events_new < events_old
